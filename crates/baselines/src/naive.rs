@@ -1,0 +1,248 @@
+//! The naive brute-force baseline (Section 3.1 of the paper).
+//!
+//! Enumerates every transformation unit with every parameter assignment
+//! bounded by the input lengths, composes them into transformations of up to
+//! `max_units` units, applies each candidate to every input pair, and then
+//! selects the maximum-coverage transformation and a greedy covering set.
+//! The candidate count is `O((u · l^z)^k)` and explodes immediately — the
+//! configuration carries hard caps so the baseline stays runnable on the tiny
+//! inputs used to demonstrate the cost difference.
+
+use tjoin_text::FxHashSet;
+use tjoin_units::{CharStr, Transformation, Unit, UnitKind};
+
+/// Configuration (mostly safety caps) for the naive baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveSynthesisConfig {
+    /// Maximum number of units composed into one transformation.
+    pub max_units: usize,
+    /// Unit kinds to enumerate.
+    pub unit_kinds: Vec<UnitKind>,
+    /// Hard cap on enumerated single units (guards against parameter blowup).
+    pub max_single_units: usize,
+    /// Hard cap on enumerated transformations (guards against composition
+    /// blowup).
+    pub max_transformations: usize,
+}
+
+impl Default for NaiveSynthesisConfig {
+    fn default() -> Self {
+        Self {
+            max_units: 2,
+            unit_kinds: vec![UnitKind::Substr, UnitKind::Split, UnitKind::Literal],
+            max_single_units: 20_000,
+            max_transformations: 2_000_000,
+        }
+    }
+}
+
+/// The naive brute-force synthesizer.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveSynthesis {
+    config: NaiveSynthesisConfig,
+}
+
+/// Result of a naive run.
+#[derive(Debug, Clone)]
+pub struct NaiveResult {
+    /// The transformation with the largest coverage, if any candidate covers
+    /// at least one pair.
+    pub best: Option<(Transformation, usize)>,
+    /// Number of single units enumerated.
+    pub units_enumerated: usize,
+    /// Number of composed transformations evaluated.
+    pub transformations_evaluated: usize,
+}
+
+impl NaiveSynthesis {
+    /// Creates the baseline with the given caps.
+    pub fn new(config: NaiveSynthesisConfig) -> Self {
+        assert!(config.max_units >= 1);
+        Self { config }
+    }
+
+    /// Enumerates every unit parameterization valid for strings up to the
+    /// maximum source length and every literal drawn from target substrings.
+    fn enumerate_units(&self, pairs: &[(CharStr, String)]) -> Vec<Unit> {
+        let max_len = pairs.iter().map(|(s, _)| s.char_len()).max().unwrap_or(0);
+        let mut alphabet: FxHashSet<char> = FxHashSet::default();
+        for (s, _) in pairs {
+            alphabet.extend(s.chars());
+        }
+        let mut units = Vec::new();
+        let mut push = |u: Unit, units: &mut Vec<Unit>| {
+            if units.len() < self.config.max_single_units {
+                units.push(u);
+            }
+        };
+
+        if self.config.unit_kinds.contains(&UnitKind::Substr) {
+            for s in 0..max_len {
+                for e in (s + 1)..=max_len {
+                    push(Unit::substr(s, e), &mut units);
+                }
+            }
+        }
+        if self.config.unit_kinds.contains(&UnitKind::Split) {
+            for &c in &alphabet {
+                for i in 0..max_len.min(16) {
+                    push(Unit::split(c, i), &mut units);
+                }
+            }
+        }
+        if self.config.unit_kinds.contains(&UnitKind::SplitSubstr) {
+            for &c in &alphabet {
+                for i in 0..max_len.min(8) {
+                    for s in 0..max_len.min(16) {
+                        for e in (s + 1)..=max_len.min(16) {
+                            push(Unit::split_substr(c, i, s, e), &mut units);
+                        }
+                    }
+                }
+            }
+        }
+        if self.config.unit_kinds.contains(&UnitKind::Literal) {
+            // Literals drawn from substrings of the targets (any other literal
+            // can never appear in a covering transformation).
+            let mut literals: FxHashSet<String> = FxHashSet::default();
+            for (_, t) in pairs {
+                let chars: Vec<char> = t.chars().collect();
+                for i in 0..chars.len() {
+                    for j in (i + 1)..=chars.len().min(i + 8) {
+                        literals.insert(chars[i..j].iter().collect());
+                    }
+                }
+            }
+            for l in literals {
+                push(Unit::literal(l), &mut units);
+            }
+        }
+        units
+    }
+
+    /// Runs the brute-force search over raw pairs, returning the best
+    /// transformation by coverage together with enumeration counts.
+    pub fn discover<S: AsRef<str>, T: AsRef<str>>(&self, raw: &[(S, T)]) -> NaiveResult {
+        let pairs: Vec<(CharStr, String)> = raw
+            .iter()
+            .map(|(s, t)| (CharStr::new(s.as_ref()), t.as_ref().to_owned()))
+            .collect();
+        if pairs.is_empty() {
+            return NaiveResult {
+                best: None,
+                units_enumerated: 0,
+                transformations_evaluated: 0,
+            };
+        }
+        let units = self.enumerate_units(&pairs);
+        let mut best: Option<(Transformation, usize)> = None;
+        let mut evaluated = 0usize;
+
+        // Compositions of length 1..=max_units, enumerated as a mixed-radix
+        // counter over the unit list, bounded by max_transformations.
+        'outer: for len in 1..=self.config.max_units {
+            let mut indices = vec![0usize; len];
+            loop {
+                if evaluated >= self.config.max_transformations {
+                    break 'outer;
+                }
+                let t = Transformation::new(indices.iter().map(|&i| units[i].clone()).collect());
+                evaluated += 1;
+                let coverage = pairs
+                    .iter()
+                    .filter(|(s, tgt)| t.covers(s, tgt))
+                    .count();
+                if coverage > 0 && best.as_ref().map(|(_, c)| coverage > *c).unwrap_or(true) {
+                    best = Some((t, coverage));
+                }
+                // Advance.
+                let mut pos = len;
+                let mut done = true;
+                while pos > 0 {
+                    pos -= 1;
+                    indices[pos] += 1;
+                    if indices[pos] < units.len() {
+                        done = false;
+                        break;
+                    }
+                    indices[pos] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+
+        NaiveResult {
+            best,
+            units_enumerated: units.len(),
+            transformations_evaluated: evaluated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_unit_solution_on_tiny_input() {
+        let naive = NaiveSynthesis::new(NaiveSynthesisConfig {
+            max_units: 1,
+            ..NaiveSynthesisConfig::default()
+        });
+        let rows = vec![("abc,def", "abc"), ("xyz,qrs", "xyz")];
+        let result = naive.discover(&rows);
+        let (t, coverage) = result.best.expect("a covering transformation");
+        assert_eq!(coverage, 2);
+        assert_eq!(t.apply("mno,pqr").as_deref(), Some("mno"));
+        assert!(result.units_enumerated > 0);
+        assert!(result.transformations_evaluated > 0);
+    }
+
+    #[test]
+    fn enumeration_counts_grow_quickly_even_on_small_inputs() {
+        // The same task the placeholder-guided engine handles with a handful
+        // of candidates requires orders of magnitude more work here.
+        let naive = NaiveSynthesis::new(NaiveSynthesisConfig {
+            max_units: 2,
+            max_transformations: 50_000,
+            ..NaiveSynthesisConfig::default()
+        });
+        let rows = vec![("ab cd", "cd-ab")];
+        let result = naive.discover(&rows);
+        assert!(result.transformations_evaluated >= 50_000 || result.best.is_some());
+        assert!(result.units_enumerated > 50);
+    }
+
+    #[test]
+    fn empty_input() {
+        let naive = NaiveSynthesis::default();
+        let result = naive.discover::<&str, &str>(&[]);
+        assert!(result.best.is_none());
+        assert_eq!(result.units_enumerated, 0);
+    }
+
+    #[test]
+    fn respects_caps() {
+        let naive = NaiveSynthesis::new(NaiveSynthesisConfig {
+            max_units: 3,
+            max_single_units: 100,
+            max_transformations: 1000,
+            ..NaiveSynthesisConfig::default()
+        });
+        let rows = vec![("abcdefgh ijklmnop", "ijklmnop abcdefgh")];
+        let result = naive.discover(&rows);
+        assert!(result.units_enumerated <= 100);
+        assert!(result.transformations_evaluated <= 1000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_units_rejected() {
+        let _ = NaiveSynthesis::new(NaiveSynthesisConfig {
+            max_units: 0,
+            ..NaiveSynthesisConfig::default()
+        });
+    }
+}

@@ -1,0 +1,73 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! duplicate removal, the non-covering-unit cache, and placeholder
+//! re-splitting (Section 6.6 of the paper measures the first two).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tjoin_core::{PairSet, SynthesisConfig, SynthesisEngine};
+use tjoin_datasets::SyntheticConfig;
+
+fn workload() -> PairSet {
+    let dataset = SyntheticConfig::with_fixed_length(60, 60).generate(13);
+    let pair = dataset.column_pair();
+    let values: Vec<(String, String)> = pair
+        .source
+        .iter()
+        .cloned()
+        .zip(pair.target.iter().cloned())
+        .collect();
+    PairSet::from_strings(&values, &SynthesisConfig::default().normalize)
+}
+
+fn bench_pruning_ablation(c: &mut Criterion) {
+    let pairs = workload();
+    let mut group = c.benchmark_group("pruning_ablation");
+    group.sample_size(10);
+
+    let configs: Vec<(&str, SynthesisConfig)> = vec![
+        ("full_pruning", SynthesisConfig::default()),
+        ("no_cache", SynthesisConfig {
+            unit_cache: false,
+            ..SynthesisConfig::default()
+        }),
+        ("no_dedup", SynthesisConfig {
+            deduplicate: false,
+            ..SynthesisConfig::default()
+        }),
+        ("no_pruning", SynthesisConfig::default().without_pruning()),
+    ];
+    for (name, config) in configs {
+        let engine = SynthesisEngine::new(config);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(engine.discover(black_box(&pairs))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_resplit_ablation(c: &mut Criterion) {
+    // Person-name rows where re-splitting matters for coverage.
+    let rows: Vec<(String, String)> = (0..40)
+        .map(|i| {
+            (
+                format!("Given{i:02} Middle{i:02} Family{i:02}"),
+                format!("Given{i:02} M. Family{i:02}"),
+            )
+        })
+        .collect();
+    let pairs = PairSet::from_strings(&rows, &SynthesisConfig::default().normalize);
+    let mut group = c.benchmark_group("resplit_ablation");
+    group.sample_size(10);
+    for (name, resplit) in [("with_resplit", true), ("without_resplit", false)] {
+        let engine = SynthesisEngine::new(SynthesisConfig {
+            resplit_placeholders: resplit,
+            ..SynthesisConfig::default()
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(engine.discover(black_box(&pairs))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning_ablation, bench_resplit_ablation);
+criterion_main!(benches);

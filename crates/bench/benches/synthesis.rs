@@ -1,0 +1,68 @@
+//! End-to-end synthesis benchmarks over the synthetic workloads (the
+//! Criterion counterpart of Figures 4a/4b: runtime vs rows and vs length).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tjoin_core::{PairSet, SynthesisConfig, SynthesisEngine};
+use tjoin_datasets::SyntheticConfig;
+
+fn pairs_for(rows: usize, length: usize) -> PairSet {
+    let dataset = SyntheticConfig::with_fixed_length(rows, length).generate(7);
+    let pair = dataset.column_pair();
+    let values: Vec<(String, String)> = pair
+        .source
+        .iter()
+        .cloned()
+        .zip(pair.target.iter().cloned())
+        .collect();
+    PairSet::from_strings(&values, &SynthesisConfig::default().normalize)
+}
+
+fn bench_vs_rows(c: &mut Criterion) {
+    let engine = SynthesisEngine::new(SynthesisConfig::default());
+    let mut group = c.benchmark_group("synthesis_vs_rows");
+    group.sample_size(10);
+    for rows in [25usize, 50, 100] {
+        let pairs = pairs_for(rows, 28);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(engine.discover(black_box(&pairs))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_length(c: &mut Criterion) {
+    let engine = SynthesisEngine::new(SynthesisConfig::default());
+    let mut group = c.benchmark_group("synthesis_vs_length");
+    group.sample_size(10);
+    for length in [24usize, 48, 96] {
+        let pairs = pairs_for(40, length);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| black_box(engine.discover(black_box(&pairs))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_shape(c: &mut Criterion) {
+    // The paper's motivating name-abbreviation workload at web-table size.
+    let pairs: Vec<(String, String)> = tjoin_datasets::realistic::web_tables(3)
+        .into_iter()
+        .find(|p| p.name.contains("staff-names"))
+        .expect("staff-names pair")
+        .column_pair()
+        .golden_values()
+        .iter()
+        .map(|(s, t)| (s.to_string(), t.to_string()))
+        .collect();
+    let set = PairSet::from_strings(&pairs, &SynthesisConfig::default().normalize);
+    let engine = SynthesisEngine::new(SynthesisConfig::default());
+    let mut group = c.benchmark_group("synthesis_web_pair");
+    group.sample_size(10);
+    group.bench_function("staff_names_92_rows", |b| {
+        b.iter(|| black_box(engine.discover(black_box(&set))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_rows, bench_vs_length, bench_real_shape);
+criterion_main!(benches);

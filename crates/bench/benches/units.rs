@@ -1,0 +1,67 @@
+//! Micro-benchmarks for the transformation-unit substrate: unit application,
+//! transformation application, and placeholder (common-substring) detection.
+//! These are the inner loops of the coverage phase, the dominant cost in
+//! Figure 4 of the paper.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tjoin_units::{CharStr, Transformation, Unit};
+
+fn bench_unit_application(c: &mut Criterion) {
+    let source = CharStr::new("prus-czarnecki, andrzej michael");
+    let units = vec![
+        ("substr", Unit::substr(5, 14)),
+        ("split", Unit::split(',', 0)),
+        ("split_substr", Unit::split_substr(' ', 1, 0, 1)),
+        ("two_char", Unit::two_char_split_substr(',', ' ', 1, 0, 5)),
+        ("literal", Unit::literal("@ualberta.ca")),
+    ];
+    let mut group = c.benchmark_group("unit_application");
+    for (name, unit) in units {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(unit.output_on(black_box(&source))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transformation_cover(c: &mut Criterion) {
+    let t = Transformation::new(vec![
+        Unit::split_substr(' ', 1, 0, 1),
+        Unit::literal(" "),
+        Unit::split(',', 0),
+    ]);
+    let source = CharStr::new("prus-czarnecki, andrzej");
+    c.bench_function("transformation_covers", |b| {
+        b.iter(|| black_box(t.covers(black_box(&source), black_box("a prus-czarnecki"))))
+    });
+}
+
+fn bench_placeholder_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placeholder_detection");
+    for length in [30usize, 100, 280] {
+        let source: String = (0..length)
+            .map(|i| char::from(b'a' + (i % 23) as u8))
+            .collect();
+        let target: String = source.chars().rev().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| {
+                black_box(tjoin_text::common_substring_matches(
+                    black_box(&source),
+                    black_box(&target),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_unit_application, bench_transformation_cover, bench_placeholder_detection
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 of the paper. Pass `--full` for the paper's sizes.
+
+fn main() {
+    let scale = tjoin_bench::Scale::from_env_and_args();
+    tjoin_bench::experiments::figures::figure3(scale, 42).print();
+}

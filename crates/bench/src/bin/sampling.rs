@@ -1,0 +1,7 @@
+//! Regenerates the Section 5.3 sampling analysis (analytic + empirical).
+
+fn main() {
+    let scale = tjoin_bench::Scale::from_env_and_args();
+    tjoin_bench::experiments::sampling::analytic_report().print();
+    tjoin_bench::experiments::sampling::empirical_report(scale, 42).print();
+}

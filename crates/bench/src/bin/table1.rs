@@ -1,0 +1,7 @@
+//! Regenerates Table1 of the paper. Pass `--full` for the paper's sizes.
+
+fn main() {
+    let scale = tjoin_bench::Scale::from_env_and_args();
+    let report = tjoin_bench::experiments::table1::run(scale, 42);
+    report.print();
+}

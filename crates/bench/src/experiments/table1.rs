@@ -1,0 +1,126 @@
+//! Table 1: row-matching performance (precision, recall, F1) per dataset.
+
+use crate::report::{f2, f3, Report};
+use crate::scale::Scale;
+use crate::suite::DatasetInstance;
+use tjoin_matching::{evaluate_pairs, MatchingMetrics, NGramMatcher};
+
+/// One dataset row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Dataset label.
+    pub dataset: String,
+    /// Average rows per table.
+    pub rows: f64,
+    /// Average join-value length.
+    pub avg_len: f64,
+    /// Average number of candidate pairs found per table pair.
+    pub pairs_found: f64,
+    /// Micro-averaged matching metrics across the family's table pairs.
+    pub metrics: MatchingMetrics,
+    /// The paper's reported precision / recall (when available).
+    pub paper_precision: Option<f64>,
+    /// The paper's reported recall.
+    pub paper_recall: Option<f64>,
+}
+
+/// Runs the row-matching experiment for every dataset family.
+pub fn compute(scale: Scale, seed: u64) -> Vec<Table1Row> {
+    let matcher = NGramMatcher::with_defaults();
+    DatasetInstance::load_all(scale, seed)
+        .into_iter()
+        .map(|instance| {
+            let mut total = MatchingMetrics::default();
+            let mut pair_count = 0usize;
+            let mut found = 0usize;
+            let mut f1_sum = 0.0;
+            let mut p_sum = 0.0;
+            let mut r_sum = 0.0;
+            for pair in &instance.pairs {
+                let candidates = matcher.find_candidates(pair);
+                let metrics = evaluate_pairs(&candidates, &pair.golden);
+                found += metrics.candidates;
+                p_sum += metrics.precision;
+                r_sum += metrics.recall;
+                f1_sum += metrics.f1;
+                total.candidates += metrics.candidates;
+                total.golden += metrics.golden;
+                total.true_positives += metrics.true_positives;
+                pair_count += 1;
+            }
+            let n = pair_count.max(1) as f64;
+            let metrics = MatchingMetrics {
+                candidates: total.candidates,
+                golden: total.golden,
+                true_positives: total.true_positives,
+                precision: p_sum / n,
+                recall: r_sum / n,
+                f1: f1_sum / n,
+            };
+            Table1Row {
+                dataset: instance.label.clone(),
+                rows: instance.average_rows(),
+                avg_len: instance.average_value_length(),
+                pairs_found: found as f64 / n,
+                metrics,
+                paper_precision: instance.paper.map(|p| p.matching_precision),
+                paper_recall: instance.paper.map(|p| p.matching_recall),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1.
+pub fn run(scale: Scale, seed: u64) -> Report {
+    let rows = compute(scale, seed);
+    let mut report = Report::new(
+        format!("Table 1: row matching performance ({})", scale.label()),
+        &[
+            "Dataset",
+            "#Rows",
+            "AvgLen",
+            "#Pairs",
+            "P",
+            "R",
+            "F1",
+            "paper P",
+            "paper R",
+        ],
+    );
+    for r in rows {
+        report.add_row(vec![
+            r.dataset,
+            format!("{:.1}", r.rows),
+            format!("{:.1}", r.avg_len),
+            format!("{:.1}", r.pairs_found),
+            f2(r.metrics.precision),
+            f2(r.metrics.recall),
+            f2(r.metrics.f1),
+            r.paper_precision.map(f3).unwrap_or_else(|| "-".into()),
+            r.paper_recall.map(f3).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    report.add_note("paper columns are the values reported in Table 1 of the paper (real datasets there, simulated stand-ins here)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table1_has_expected_shape() {
+        let rows = compute(Scale::Quick, 3);
+        assert!(rows.len() >= 5);
+        let synth = rows.iter().find(|r| r.dataset == "Synth-50").unwrap();
+        assert!(synth.metrics.precision > 0.9, "{:?}", synth.metrics);
+        assert!(synth.metrics.recall > 0.6);
+        let open = rows.iter().find(|r| r.dataset == "Open data").unwrap();
+        assert!(
+            open.metrics.precision < 0.5,
+            "open data should be low precision: {:?}",
+            open.metrics
+        );
+        assert!(open.metrics.recall > 0.8);
+    }
+}

@@ -1,0 +1,235 @@
+//! Dataset loading for the experiment harness.
+//!
+//! A [`DatasetInstance`] bundles the table pairs of one benchmark family
+//! (Web tables, Spreadsheet, Open data, Synth-N / Synth-NL) at the chosen
+//! scale, together with the synthesis / join parameters the paper uses for
+//! that family (placeholder bound, sampling, support thresholds).
+
+use crate::scale::Scale;
+use tjoin_core::SynthesisConfig;
+use tjoin_datasets::{realistic, ColumnPair, SyntheticConfig};
+
+/// One benchmark family instantiated at a scale.
+#[derive(Debug, Clone)]
+pub struct DatasetInstance {
+    /// The label used in the paper's tables ("Web tables", "Synth-50L", ...).
+    pub label: String,
+    /// The column pairs of the family (one per table pair).
+    pub pairs: Vec<ColumnPair>,
+    /// The synthesis configuration the paper uses for this family.
+    pub synthesis: SynthesisConfig,
+    /// The end-to-end join support threshold (Table 3: 5 %, 2 % for Open data).
+    pub join_min_support: f64,
+    /// The paper's reported values for this family, for side-by-side printing
+    /// (None when the paper has no row for it at this scale).
+    pub paper: Option<PaperReference>,
+}
+
+/// Reference numbers from the paper for side-by-side reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperReference {
+    /// Table 1: row matching precision.
+    pub matching_precision: f64,
+    /// Table 1: row matching recall.
+    pub matching_recall: f64,
+    /// Table 2 (n-gram panel): our-approach top coverage.
+    pub top_coverage: f64,
+    /// Table 2 (n-gram panel): our-approach covering-set coverage.
+    pub set_coverage: f64,
+    /// Table 3: our-approach end-to-end join F1.
+    pub join_f1: f64,
+}
+
+impl DatasetInstance {
+    /// Loads every benchmark family at the given scale, in the order the
+    /// paper's tables list them.
+    pub fn load_all(scale: Scale, seed: u64) -> Vec<DatasetInstance> {
+        let mut out = Vec::new();
+        out.push(Self::web_tables(scale, seed));
+        out.push(Self::spreadsheet(scale, seed));
+        out.push(Self::open_data(scale, seed));
+        for (rows, long) in scale.synth_sizes() {
+            out.push(Self::synthetic(scale, seed, rows, long));
+        }
+        out
+    }
+
+    /// The simulated web-tables family.
+    pub fn web_tables(scale: Scale, seed: u64) -> DatasetInstance {
+        let pairs: Vec<ColumnPair> = realistic::web_tables(seed)
+            .into_iter()
+            .take(scale.web_pairs())
+            .map(|p| p.column_pair())
+            .collect();
+        DatasetInstance {
+            label: "Web tables".into(),
+            pairs,
+            synthesis: SynthesisConfig::default(),
+            join_min_support: 0.05,
+            paper: Some(PaperReference {
+                matching_precision: 0.81,
+                matching_recall: 0.93,
+                top_coverage: 0.58,
+                set_coverage: 1.00,
+                join_f1: 0.713,
+            }),
+        }
+    }
+
+    /// The simulated spreadsheet (FlashFill-style) family.
+    pub fn spreadsheet(scale: Scale, seed: u64) -> DatasetInstance {
+        let pairs: Vec<ColumnPair> = realistic::spreadsheet(seed)
+            .into_iter()
+            .take(scale.spreadsheet_pairs())
+            .map(|p| p.column_pair())
+            .collect();
+        DatasetInstance {
+            label: "Spreadsheet".into(),
+            pairs,
+            synthesis: SynthesisConfig::spreadsheet(),
+            join_min_support: 0.05,
+            paper: Some(PaperReference {
+                matching_precision: 0.95,
+                matching_recall: 0.93,
+                top_coverage: 0.73,
+                set_coverage: 1.00,
+                join_f1: 0.812,
+            }),
+        }
+    }
+
+    /// The simulated open-data family (one large pair, sampled synthesis).
+    pub fn open_data(scale: Scale, seed: u64) -> DatasetInstance {
+        let (rows, sample) = scale.open_data_rows();
+        let pair = realistic::open_data(seed, rows).column_pair();
+        DatasetInstance {
+            label: "Open data".into(),
+            pairs: vec![pair],
+            synthesis: SynthesisConfig::default()
+                .with_sample(sample, seed)
+                .with_min_support(0.01),
+            join_min_support: 0.02,
+            paper: Some(PaperReference {
+                matching_precision: 0.01,
+                matching_recall: 0.92,
+                top_coverage: 0.30,
+                set_coverage: 0.56,
+                join_f1: 0.700,
+            }),
+        }
+    }
+
+    /// A synthetic Synth-N / Synth-NL family.
+    pub fn synthetic(scale: Scale, seed: u64, rows: usize, long: bool) -> DatasetInstance {
+        let config = if long {
+            SyntheticConfig::synth_long(rows)
+        } else {
+            SyntheticConfig::synth(rows)
+        };
+        let pairs: Vec<ColumnPair> = (0..scale.synth_repetitions())
+            .map(|rep| config.generate(seed.wrapping_add(rep as u64)).column_pair())
+            .collect();
+        let label = format!("Synth-{rows}{}", if long { "L" } else { "" });
+        let paper = match (rows, long) {
+            (50, false) => Some(PaperReference {
+                matching_precision: 1.00,
+                matching_recall: 0.88,
+                top_coverage: 0.42,
+                set_coverage: 1.00,
+                join_f1: 0.979,
+            }),
+            (50, true) => Some(PaperReference {
+                matching_precision: 1.00,
+                matching_recall: 0.96,
+                top_coverage: 0.40,
+                set_coverage: 1.00,
+                join_f1: 0.999,
+            }),
+            (500, false) => Some(PaperReference {
+                matching_precision: 0.97,
+                matching_recall: 0.81,
+                top_coverage: 0.39,
+                set_coverage: 1.00,
+                join_f1: 0.890,
+            }),
+            (500, true) => Some(PaperReference {
+                matching_precision: 0.96,
+                matching_recall: 0.89,
+                top_coverage: 0.35,
+                set_coverage: 0.68,
+                join_f1: 0.955,
+            }),
+            _ => None,
+        };
+        DatasetInstance {
+            label,
+            pairs,
+            synthesis: SynthesisConfig::default(),
+            join_min_support: 0.05,
+            paper,
+        }
+    }
+
+    /// Average number of rows per table in the family.
+    pub fn average_rows(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs
+            .iter()
+            .map(|p| p.source_len() as f64)
+            .sum::<f64>()
+            / self.pairs.len() as f64
+    }
+
+    /// Average join-value length across the family.
+    pub fn average_value_length(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs
+            .iter()
+            .map(ColumnPair::average_value_length)
+            .sum::<f64>()
+            / self.pairs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_loads() {
+        let suite = DatasetInstance::load_all(Scale::Quick, 1);
+        assert!(suite.len() >= 5);
+        let labels: Vec<&str> = suite.iter().map(|d| d.label.as_str()).collect();
+        assert!(labels.contains(&"Web tables"));
+        assert!(labels.contains(&"Spreadsheet"));
+        assert!(labels.contains(&"Open data"));
+        assert!(labels.iter().any(|l| l.starts_with("Synth-")));
+        for d in &suite {
+            assert!(!d.pairs.is_empty(), "{} has no pairs", d.label);
+            assert!(d.average_rows() > 0.0);
+            assert!(d.average_value_length() > 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_parameters_match_section_6_2() {
+        let spreadsheet = DatasetInstance::spreadsheet(Scale::Quick, 1);
+        assert_eq!(spreadsheet.synthesis.max_placeholders, 4);
+        let web = DatasetInstance::web_tables(Scale::Quick, 1);
+        assert_eq!(web.synthesis.max_placeholders, 3);
+        let open = DatasetInstance::open_data(Scale::Quick, 1);
+        assert!(open.synthesis.sample_size.is_some());
+        assert!((open.join_min_support - 0.02).abs() < 1e-12);
+        assert!((web.join_min_support - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_labels() {
+        assert_eq!(DatasetInstance::synthetic(Scale::Quick, 1, 50, false).label, "Synth-50");
+        assert_eq!(DatasetInstance::synthetic(Scale::Quick, 1, 500, true).label, "Synth-500L");
+    }
+}

@@ -1,0 +1,217 @@
+//! Solution assembly: top-k selection and greedy minimal set cover
+//! (Section 4.1.6 of the paper).
+//!
+//! Finding a minimal covering set of transformations is the classic set-cover
+//! problem (NP-complete); the greedy algorithm used here repeatedly selects
+//! the transformation covering the most not-yet-covered rows and has the
+//! standard `H(n) ≤ ln(n) + 1` approximation guarantee the paper cites.
+
+use tjoin_units::{CoveredTransformation, Transformation, TransformationSet};
+
+/// A transformation together with the rows it covers (the coverage phase's
+/// per-transformation output, before selection).
+#[derive(Debug, Clone)]
+pub struct ScoredTransformation {
+    /// The transformation.
+    pub transformation: Transformation,
+    /// Indices of the rows it covers.
+    pub covered_rows: Vec<u32>,
+}
+
+impl ScoredTransformation {
+    fn coverage(&self) -> usize {
+        self.covered_rows.len()
+    }
+}
+
+/// Drops transformations whose coverage is below `min_support` (a fraction of
+/// `total_rows`) or that consist solely of literals while covering a single
+/// row (such candidates are target values copied verbatim and never
+/// generalize).
+pub fn filter_candidates(
+    candidates: Vec<ScoredTransformation>,
+    total_rows: usize,
+    min_support: f64,
+) -> Vec<ScoredTransformation> {
+    let min_rows = ((min_support * total_rows as f64).ceil() as usize).max(1);
+    candidates
+        .into_iter()
+        .filter(|c| !c.covered_rows.is_empty())
+        .filter(|c| c.coverage() >= min_rows)
+        .filter(|c| !(c.transformation.is_all_literal() && c.coverage() <= 1))
+        .collect()
+}
+
+/// The `k` transformations with the largest coverage, ties broken toward
+/// fewer units and then lexicographically (for determinism).
+pub fn top_k(candidates: &[ScoredTransformation], k: usize) -> Vec<CoveredTransformation> {
+    let mut sorted: Vec<&ScoredTransformation> = candidates.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.coverage()
+            .cmp(&a.coverage())
+            .then_with(|| a.transformation.len().cmp(&b.transformation.len()))
+            .then_with(|| {
+                a.transformation
+                    .to_string()
+                    .cmp(&b.transformation.to_string())
+            })
+    });
+    sorted
+        .into_iter()
+        .take(k)
+        .map(|c| CoveredTransformation {
+            transformation: c.transformation.clone(),
+            covered_rows: c.covered_rows.clone(),
+        })
+        .collect()
+}
+
+/// Greedy minimal set cover: repeatedly selects the transformation covering
+/// the most not-yet-covered rows until no candidate adds coverage.
+///
+/// Ties are broken toward shorter transformations (fewer units — the paper's
+/// second quality measure) and then lexicographically for determinism. The
+/// returned set lists each selected transformation with *all* rows it covers
+/// (not only the marginal ones), ordered by selection.
+pub fn greedy_cover(
+    candidates: &[ScoredTransformation],
+    total_rows: usize,
+) -> TransformationSet {
+    let mut covered = vec![false; total_rows];
+    let mut selected: Vec<CoveredTransformation> = Vec::new();
+    let mut remaining: Vec<&ScoredTransformation> = candidates.iter().collect();
+
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (marginal gain, index)
+        for (idx, cand) in remaining.iter().enumerate() {
+            let gain = cand
+                .covered_rows
+                .iter()
+                .filter(|&&r| !covered[r as usize])
+                .count();
+            if gain == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((best_gain, best_idx)) => {
+                    let current_best = remaining[best_idx];
+                    gain > best_gain
+                        || (gain == best_gain
+                            && (cand.transformation.len() < current_best.transformation.len()
+                                || (cand.transformation.len()
+                                    == current_best.transformation.len()
+                                    && cand.transformation.to_string()
+                                        < current_best.transformation.to_string())))
+                }
+            };
+            if better {
+                best = Some((gain, idx));
+            }
+        }
+        let Some((_, idx)) = best else { break };
+        let chosen = remaining.remove(idx);
+        for &r in &chosen.covered_rows {
+            covered[r as usize] = true;
+        }
+        selected.push(CoveredTransformation {
+            transformation: chosen.transformation.clone(),
+            covered_rows: chosen.covered_rows.clone(),
+        });
+        if covered.iter().all(|&c| c) {
+            break;
+        }
+    }
+
+    TransformationSet {
+        transformations: selected,
+        total_pairs: total_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tjoin_units::Unit;
+
+    fn scored(units: Vec<Unit>, rows: Vec<u32>) -> ScoredTransformation {
+        ScoredTransformation {
+            transformation: Transformation::new(units),
+            covered_rows: rows,
+        }
+    }
+
+    #[test]
+    fn greedy_selects_by_marginal_gain() {
+        // t0 covers {0,1,2}, t1 covers {2,3}, t2 covers {3}: the greedy cover
+        // is {t0, t1} (t1 beats t2 on marginal gain after t0 is chosen —
+        // both add row 3, but t1 also re-covers row 2; equal marginal gain of
+        // 1, so the shorter/lexicographic rule applies).
+        let t0 = scored(vec![Unit::substr(0, 1)], vec![0, 1, 2]);
+        let t1 = scored(vec![Unit::substr(0, 2)], vec![2, 3]);
+        let t2 = scored(vec![Unit::substr(0, 3), Unit::literal("x")], vec![3]);
+        let cover = greedy_cover(&[t0, t1, t2], 4);
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover.transformations[0].covered_rows, vec![0, 1, 2]);
+        assert!((cover.set_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_stops_when_no_gain() {
+        let t0 = scored(vec![Unit::substr(0, 1)], vec![0]);
+        let t1 = scored(vec![Unit::substr(1, 2)], vec![0]); // redundant
+        let cover = greedy_cover(&[t0, t1], 3);
+        assert_eq!(cover.len(), 1);
+        assert!((cover.set_coverage() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_empty_candidates() {
+        let cover = greedy_cover(&[], 5);
+        assert!(cover.is_empty());
+        assert_eq!(cover.total_pairs, 5);
+        assert_eq!(cover.set_coverage(), 0.0);
+    }
+
+    #[test]
+    fn greedy_prefers_shorter_transformation_on_ties() {
+        let long = scored(vec![Unit::substr(0, 1), Unit::literal("a")], vec![0, 1]);
+        let short = scored(vec![Unit::substr(0, 2)], vec![0, 1]);
+        let cover = greedy_cover(&[long, short], 2);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.transformations[0].transformation.len(), 1);
+    }
+
+    #[test]
+    fn top_k_orders_by_coverage() {
+        let a = scored(vec![Unit::substr(0, 1)], vec![0]);
+        let b = scored(vec![Unit::substr(0, 2)], vec![0, 1, 2]);
+        let c = scored(vec![Unit::substr(0, 3)], vec![0, 1]);
+        let top = top_k(&[a, b, c], 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].coverage(), 3);
+        assert_eq!(top[1].coverage(), 2);
+    }
+
+    #[test]
+    fn top_k_handles_small_candidate_lists() {
+        let a = scored(vec![Unit::substr(0, 1)], vec![0]);
+        assert_eq!(top_k(&[a], 10).len(), 1);
+        assert!(top_k(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn filter_by_support_and_literal_rule() {
+        let lit_single = scored(vec![Unit::literal("abc")], vec![0]);
+        let lit_double = scored(vec![Unit::literal("abc")], vec![0, 1]);
+        let real = scored(vec![Unit::substr(0, 1)], vec![0]);
+        let empty = scored(vec![Unit::substr(5, 9)], vec![]);
+        let kept = filter_candidates(vec![lit_single, lit_double, real, empty], 10, 0.0);
+        // The single-row all-literal and the empty-coverage candidates drop out.
+        assert_eq!(kept.len(), 2);
+        // A 20% support threshold over 10 rows requires 2 covered rows.
+        let kept = filter_candidates(kept, 10, 0.2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].covered_rows, vec![0, 1]);
+    }
+}

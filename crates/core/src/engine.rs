@@ -1,0 +1,318 @@
+//! The synthesis engine: ties the phases together (Section 4.1 end to end).
+
+use crate::config::SynthesisConfig;
+use crate::cover::{filter_candidates, greedy_cover, top_k, ScoredTransformation};
+use crate::coverage::compute_coverage;
+use crate::generate::generate_transformations;
+use crate::pair::PairSet;
+use crate::sampling::sample_indices;
+use crate::stats::{PhaseTimings, SynthesisStats};
+use std::time::Instant;
+use tjoin_units::{CoveredTransformation, TransformationSet};
+
+/// The result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The `top_k` transformations by individual coverage ("Top Cov." view).
+    pub top: Vec<CoveredTransformation>,
+    /// The greedy minimal covering set ("Coverage" / "#Trans." view).
+    pub cover: TransformationSet,
+    /// Statistics and timings of the run.
+    pub stats: SynthesisStats,
+}
+
+impl SynthesisResult {
+    /// Coverage fraction of the single best transformation.
+    pub fn top_coverage(&self) -> f64 {
+        if self.stats.pairs_used == 0 {
+            return 0.0;
+        }
+        self.top
+            .first()
+            .map(|t| t.coverage() as f64 / self.stats.pairs_used as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Coverage fraction of the covering set.
+    pub fn set_coverage(&self) -> f64 {
+        self.cover.set_coverage()
+    }
+}
+
+/// The transformation synthesis engine (the paper's contribution).
+///
+/// See the crate-level documentation for the phase walk-through and
+/// [`SynthesisConfig`] for the tunable parameters.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisEngine {
+    config: SynthesisConfig,
+}
+
+impl SynthesisEngine {
+    /// Creates an engine with the given configuration (validating it).
+    pub fn new(config: SynthesisConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Runs synthesis on raw (source, target) string pairs.
+    pub fn discover_from_strings<S: AsRef<str>, T: AsRef<str>>(
+        &self,
+        pairs: &[(S, T)],
+    ) -> SynthesisResult {
+        let set = PairSet::from_strings(pairs, &self.config.normalize);
+        self.discover(&set)
+    }
+
+    /// Runs synthesis on a prepared [`PairSet`].
+    pub fn discover(&self, pairs: &PairSet) -> SynthesisResult {
+        let total_input = pairs.len();
+
+        // Sampling (Section 5.3): draw the working subset when configured.
+        let sampled;
+        let working: &PairSet = match self.config.sample_size {
+            Some(size) if size < pairs.len() => {
+                let idx = sample_indices(pairs.len(), size, self.config.sample_seed);
+                sampled = pairs.subset(&idx);
+                &sampled
+            }
+            _ => pairs,
+        };
+
+        // Phase 1–3: placeholders, skeletons, unit extraction, generation,
+        // duplicate removal.
+        let generation = generate_transformations(working, &self.config);
+
+        // Phase 4: coverage with eager filtering.
+        let coverage = compute_coverage(
+            &generation.transformations,
+            working,
+            self.config.unit_cache,
+            self.config.threads,
+        );
+
+        // Phase 5: selection.
+        let select_start = Instant::now();
+        let scored: Vec<ScoredTransformation> = generation
+            .transformations
+            .iter()
+            .zip(coverage.covered_rows.iter())
+            .map(|(t, rows)| ScoredTransformation {
+                transformation: t.clone(),
+                covered_rows: rows.clone(),
+            })
+            .collect();
+        let candidates = filter_candidates(scored, working.len(), self.config.min_support);
+        let top = top_k(&candidates, self.config.top_k);
+        let cover = greedy_cover(&candidates, working.len());
+        let cover_selection = select_start.elapsed();
+
+        let stats = SynthesisStats {
+            pairs_total: total_input,
+            pairs_used: working.len(),
+            generated_transformations: generation.generated,
+            transformations_to_try: generation.unique,
+            coverage_trials: coverage.trials,
+            cache_hits: coverage.cache_hits,
+            potential_trials: coverage.potential_trials,
+            timings: PhaseTimings {
+                placeholder_generation: generation.placeholder_time,
+                unit_extraction: generation.unit_extraction_time,
+                duplicate_removal: generation.generation_dedup_time,
+                applying_transformations: coverage.apply_time,
+                cover_selection,
+            },
+        };
+
+        SynthesisResult { top, cover, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tjoin_units::UnitKind;
+
+    fn engine() -> SynthesisEngine {
+        SynthesisEngine::new(SynthesisConfig::default())
+    }
+
+    #[test]
+    fn discovers_single_rule_for_uniform_rows() {
+        let rows = vec![
+            ("Rafiei, Davood", "D Rafiei"),
+            ("Nascimento, Mario", "M Nascimento"),
+            ("Gingrich, Douglas", "D Gingrich"),
+            ("Bowling, Michael", "M Bowling"),
+            ("Gosgnach, Simon", "S Gosgnach"),
+        ];
+        let result = engine().discover_from_strings(&rows);
+        assert!(
+            (result.top_coverage() - 1.0).abs() < 1e-9,
+            "top coverage {}",
+            result.top_coverage()
+        );
+        assert!((result.set_coverage() - 1.0).abs() < 1e-9);
+        assert_eq!(result.cover.len(), 1, "cover: {}", result.cover);
+        // The discovered rule must generalize to an unseen row.
+        let t = &result.top[0].transformation;
+        assert_eq!(
+            t.apply("prus-czarnecki, andrzej").as_deref(),
+            Some("a prus-czarnecki")
+        );
+    }
+
+    #[test]
+    fn discovers_multiple_rules_when_formats_mix() {
+        // Half the rows map to emails, half to "F Last" abbreviations: one
+        // transformation cannot cover both, the covering set needs at least 2.
+        let rows = vec![
+            ("Rafiei, Davood", "davood.rafiei@ualberta.ca"),
+            ("Bowling, Michael", "michael.bowling@ualberta.ca"),
+            ("Nascimento, Mario", "mario.nascimento@ualberta.ca"),
+            ("Gingrich, Douglas", "d gingrich"),
+            ("Gosgnach, Simon", "s gosgnach"),
+            ("Smith, Sarah", "s smith"),
+        ];
+        let result = engine().discover_from_strings(&rows);
+        assert!((result.set_coverage() - 1.0).abs() < 1e-9, "{}", result.cover);
+        assert!(result.cover.len() >= 2);
+        assert!(result.top_coverage() <= 0.51);
+    }
+
+    #[test]
+    fn phone_reformatting_discovered() {
+        let rows = vec![
+            ("(780) 432-3636", "+1 780 432 3636"),
+            ("(780) 433-6545", "+1 780 433 6545"),
+            ("(403) 428-2108", "+1 403 428 2108"),
+        ];
+        let result = engine().discover_from_strings(&rows);
+        assert!((result.set_coverage() - 1.0).abs() < 1e-9, "{}", result.cover);
+        let t = &result.top[0].transformation;
+        assert_eq!(t.apply("(825) 406-4565").as_deref(), Some("+1 825 406 4565"));
+    }
+
+    #[test]
+    fn noise_rows_left_uncovered_but_do_not_break_discovery() {
+        let rows = vec![
+            ("Rafiei, Davood", "D Rafiei"),
+            ("Bowling, Michael", "M Bowling"),
+            ("Gosgnach, Simon", "S Gosgnach"),
+            ("Smith, Sarah", "totally unrelated text 123"),
+        ];
+        let result = engine().discover_from_strings(&rows);
+        assert!(result.top_coverage() >= 0.74, "top {}", result.top_coverage());
+        assert!(result.set_coverage() < 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn sampling_still_discovers_high_coverage_rule() {
+        let rows: Vec<(String, String)> = (0..200)
+            .map(|i| {
+                (
+                    format!("user{i:03}, person"),
+                    format!("p user{i:03}"),
+                )
+            })
+            .collect();
+        let config = SynthesisConfig::default().with_sample(20, 1);
+        let result = SynthesisEngine::new(config).discover_from_strings(&rows);
+        assert_eq!(result.stats.pairs_total, 200);
+        assert_eq!(result.stats.pairs_used, 20);
+        assert!((result.top_coverage() - 1.0).abs() < 1e-9);
+        // The rule discovered on the sample generalizes to the full input.
+        let t = &result.top[0].transformation;
+        assert_eq!(t.apply("user999, person").as_deref(), Some("p user999"));
+    }
+
+    #[test]
+    fn min_support_drops_rare_transformations() {
+        let rows = vec![
+            ("aaa, bbb", "bbb"),
+            ("ccc, ddd", "ddd"),
+            ("eee, fff", "fff"),
+            ("unique-row", "completely different 42"),
+        ];
+        let strict = SynthesisEngine::new(SynthesisConfig::default().with_min_support(0.5));
+        let result = strict.discover_from_strings(&rows);
+        for t in result.cover.iter() {
+            assert!(t.coverage() as f64 / rows.len() as f64 >= 0.5);
+        }
+    }
+
+    #[test]
+    fn pruning_toggles_do_not_change_coverage() {
+        let rows = vec![
+            ("Rafiei, Davood", "D Rafiei"),
+            ("Bowling, Michael", "M Bowling"),
+            ("Gosgnach, Simon", "S Gosgnach"),
+        ];
+        let pruned = engine().discover_from_strings(&rows);
+        let unpruned =
+            SynthesisEngine::new(SynthesisConfig::default().without_pruning())
+                .discover_from_strings(&rows);
+        assert!((pruned.top_coverage() - unpruned.top_coverage()).abs() < 1e-9);
+        assert!((pruned.set_coverage() - unpruned.set_coverage()).abs() < 1e-9);
+        // Pruning statistics must reflect the toggles.
+        assert!(pruned.stats.cache_hits > 0 || pruned.stats.potential_trials < 100);
+        assert_eq!(unpruned.stats.cache_hits, 0);
+        assert!(unpruned.stats.duplicate_ratio() == 0.0);
+        assert!(pruned.stats.duplicate_ratio() >= 0.0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let rows = vec![("abc def", "def-abc"), ("ghi jkl", "jkl-ghi")];
+        let result = engine().discover_from_strings(&rows);
+        let s = &result.stats;
+        assert!(s.generated_transformations >= s.transformations_to_try);
+        assert_eq!(
+            s.potential_trials,
+            s.transformations_to_try * s.pairs_used as u64
+        );
+        assert!(s.coverage_trials + s.cache_hits <= s.potential_trials);
+        assert!(s.total_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_result() {
+        let rows: Vec<(String, String)> = Vec::new();
+        let result = engine().discover_from_strings(&rows);
+        assert!(result.top.is_empty());
+        assert!(result.cover.is_empty());
+        assert_eq!(result.top_coverage(), 0.0);
+        assert_eq!(result.set_coverage(), 0.0);
+    }
+
+    #[test]
+    fn parallel_coverage_matches_sequential() {
+        let rows: Vec<(String, String)> = (0..30)
+            .map(|i| (format!("item {i:02}, group"), format!("g item {i:02}")))
+            .collect();
+        let seq = engine().discover_from_strings(&rows);
+        let par = SynthesisEngine::new(SynthesisConfig::default().with_threads(4))
+            .discover_from_strings(&rows);
+        assert_eq!(seq.top_coverage(), par.top_coverage());
+        assert_eq!(seq.set_coverage(), par.set_coverage());
+        assert_eq!(seq.cover.len(), par.cover.len());
+    }
+
+    #[test]
+    fn two_char_split_enabled_finds_parenthesized_content() {
+        let mut config = SynthesisConfig::default();
+        config.unit_kinds.push(UnitKind::TwoCharSplitSubstr);
+        let rows = vec![
+            ("alpha (one)", "one"),
+            ("beta (two)", "two"),
+            ("gamma (six)", "six"),
+        ];
+        let result = SynthesisEngine::new(config).discover_from_strings(&rows);
+        assert!((result.top_coverage() - 1.0).abs() < 1e-9, "{}", result.cover);
+    }
+}

@@ -1,0 +1,191 @@
+//! Placeholder detection (Definition 4 and Section 4.1.3 of the paper).
+//!
+//! A placeholder is a contiguous block of the target that a non-constant unit
+//! can produce from the source; with copy-based units that is a common
+//! substring of the pair. The engine restricts itself to *maximal-length*
+//! placeholders — blocks that cannot be extended and still occur in the
+//! source — and recovers the coverage lost to over-long blocks (Lemma 4) by
+//! re-splitting placeholders at natural-language separators.
+
+use serde::{Deserialize, Serialize};
+use tjoin_text::{common_substring_matches, tokenize_with_separators, TokenKind};
+use tjoin_units::CharStr;
+
+/// A placeholder: a block of the target plus every position in the source
+/// where its text occurs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placeholder {
+    /// Start character position in the target.
+    pub target_start: usize,
+    /// End character position (exclusive) in the target.
+    pub target_end: usize,
+    /// The placeholder text (the target slice).
+    pub text: String,
+    /// Character positions in the source where `text` occurs.
+    pub source_positions: Vec<usize>,
+}
+
+impl Placeholder {
+    /// Character length of the placeholder.
+    pub fn char_len(&self) -> usize {
+        self.target_end - self.target_start
+    }
+}
+
+/// Detects the maximal-length placeholders of a (source, target) pair.
+///
+/// Every returned placeholder has at least one source occurrence; the list is
+/// ordered by target position.
+pub fn maximal_placeholders(source: &CharStr, target: &str) -> Vec<Placeholder> {
+    let target_chars: Vec<char> = target.chars().collect();
+    common_substring_matches(source.as_str(), target)
+        .into_iter()
+        .map(|m| {
+            let text: String = target_chars[m.target_start..m.target_end].iter().collect();
+            Placeholder {
+                target_start: m.target_start,
+                target_end: m.target_end,
+                text,
+                source_positions: m.source_positions,
+            }
+        })
+        .collect()
+}
+
+/// Re-splits a placeholder at separator characters (Section 4.1.3): word
+/// tokens become sub-placeholders (with their own source occurrence lists)
+/// and separator runs become literal text, returned as
+/// `(literal_or_placeholder)` parts in target order.
+///
+/// Returns `None` when the placeholder contains no separator (re-splitting
+/// would change nothing) or when a word token no longer occurs in the source
+/// (cannot happen for sub-tokens of a common block, but guarded anyway).
+pub fn resplit_placeholder(
+    placeholder: &Placeholder,
+    source: &CharStr,
+) -> Option<Vec<ResplitPart>> {
+    let tokens = tokenize_with_separators(&placeholder.text);
+    if tokens.len() <= 1 {
+        return None;
+    }
+    let mut parts = Vec::with_capacity(tokens.len());
+    for tok in tokens {
+        match tok.kind {
+            TokenKind::Separator => parts.push(ResplitPart::Literal(tok.text)),
+            TokenKind::Word => {
+                let source_positions = source.find_all(&tok.text);
+                if source_positions.is_empty() {
+                    return None;
+                }
+                parts.push(ResplitPart::Placeholder(Placeholder {
+                    target_start: placeholder.target_start + tok.start,
+                    target_end: placeholder.target_start + tok.end,
+                    text: tok.text,
+                    source_positions,
+                }));
+            }
+        }
+    }
+    Some(parts)
+}
+
+/// One part of a re-split placeholder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResplitPart {
+    /// A separator run kept as literal text.
+    Literal(String),
+    /// A word token promoted to its own placeholder.
+    Placeholder(Placeholder),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_email_placeholders() {
+        let source = CharStr::new("bowling, michael");
+        let found = maximal_placeholders(&source, "michael.bowling@ualberta.ca");
+        let texts: Vec<&str> = found.iter().map(|p| p.text.as_str()).collect();
+        assert!(texts.contains(&"michael"));
+        assert!(texts.contains(&"bowling"));
+        for p in &found {
+            assert!(!p.source_positions.is_empty());
+            assert_eq!(p.char_len(), p.text.chars().count());
+        }
+    }
+
+    #[test]
+    fn placeholders_ordered_by_target_position() {
+        let source = CharStr::new("abc def");
+        let found = maximal_placeholders(&source, "def-abc");
+        let starts: Vec<usize> = found.iter().map(|p| p.target_start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn no_placeholders_for_disjoint_pair() {
+        let source = CharStr::new("abc");
+        assert!(maximal_placeholders(&source, "xyz").is_empty());
+    }
+
+    #[test]
+    fn resplit_victor_example() {
+        // Paper example: placeholder "Victor R" re-splits into
+        // P("Victor"), L(" "), P("R").
+        let source = CharStr::new("Victor Robbie Kasumba");
+        let placeholders = maximal_placeholders(&source, "Victor R. Kasumba");
+        let big = placeholders
+            .iter()
+            .find(|p| p.text == "Victor R")
+            .expect("maximal placeholder 'Victor R'");
+        let parts = resplit_placeholder(big, &source).expect("re-splittable");
+        assert_eq!(parts.len(), 3);
+        match (&parts[0], &parts[1], &parts[2]) {
+            (
+                ResplitPart::Placeholder(a),
+                ResplitPart::Literal(sep),
+                ResplitPart::Placeholder(b),
+            ) => {
+                assert_eq!(a.text, "Victor");
+                assert_eq!(sep, " ");
+                assert_eq!(b.text, "R");
+                assert!(!b.source_positions.is_empty());
+            }
+            other => panic!("unexpected parts: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resplit_none_when_no_separator() {
+        let source = CharStr::new("abcdef");
+        let p = Placeholder {
+            target_start: 0,
+            target_end: 3,
+            text: "abc".into(),
+            source_positions: vec![0],
+        };
+        assert!(resplit_placeholder(&p, &source).is_none());
+    }
+
+    #[test]
+    fn resplit_positions_are_absolute() {
+        let source = CharStr::new("john smith");
+        let p = Placeholder {
+            target_start: 5,
+            target_end: 15,
+            text: "john smith".into(),
+            source_positions: vec![0],
+        };
+        let parts = resplit_placeholder(&p, &source).unwrap();
+        if let ResplitPart::Placeholder(last) = &parts[2] {
+            assert_eq!(last.target_start, 10);
+            assert_eq!(last.target_end, 15);
+            assert_eq!(last.text, "smith");
+        } else {
+            panic!("expected placeholder part");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Sampling analysis (Section 5.3 of the paper).
+//!
+//! The synthesis engine is quadratic in the number of input pairs, so large
+//! inputs are handled by running on a random sample. The paper derives the
+//! probability that a transformation with coverage fraction `q` is still
+//! discoverable from a sample of size `s`:
+//!
+//! * `P0 = (1 − q)^s` — no sampled row is covered;
+//! * `P1 = s · q · (1 − q)^(s−1)` — exactly one sampled row is covered;
+//! * discovery needs at least two covered rows, so
+//!   `P(discover) = 1 − P0 − P1`.
+//!
+//! For comparison, Auto-Join needs *every* row of a subset to be covered by
+//! one transformation, so a subset of size `s` covers it with probability
+//! `q^s` and the expected number of subsets needed for one success is
+//! `1 / q^s`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Probability that a transformation covering a fraction `q` of the input is
+/// *not* represented at all in a random sample of `s` rows.
+pub fn miss_probability(q: f64, s: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be a fraction");
+    (1.0 - q).powi(s as i32)
+}
+
+/// Probability that exactly one row of a random sample of `s` rows is covered.
+pub fn single_row_probability(q: f64, s: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be a fraction");
+    s as f64 * q * (1.0 - q).powi(s.saturating_sub(1) as i32)
+}
+
+/// Probability that a transformation with coverage fraction `q` is
+/// discoverable from a sample of `s` rows, i.e. at least two sampled rows are
+/// covered (equation of Section 5.3).
+pub fn discovery_probability(q: f64, s: usize) -> f64 {
+    (1.0 - miss_probability(q, s) - single_row_probability(q, s)).max(0.0)
+}
+
+/// Probability that *all* rows of an Auto-Join subset of size `s` are covered
+/// by a transformation with coverage fraction `q` (`q^s`).
+pub fn autojoin_subset_probability(q: f64, s: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be a fraction");
+    q.powi(s as i32)
+}
+
+/// Expected number of Auto-Join subsets of size `s` needed before one is
+/// fully covered by a transformation with coverage fraction `q`; infinite
+/// when `q == 0`.
+pub fn autojoin_expected_subsets(q: f64, s: usize) -> f64 {
+    let p = autojoin_subset_probability(q, s);
+    if p == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / p
+    }
+}
+
+/// One row of a sampling analysis table: the discovery probabilities at a
+/// given sample size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingAnalysis {
+    /// Sample size.
+    pub sample_size: usize,
+    /// Transformation coverage fraction assumed.
+    pub coverage: f64,
+    /// Our approach's discovery probability (≥ 2 covered rows in the sample).
+    pub discovery_probability: f64,
+    /// Auto-Join's probability that one subset of this size is fully covered.
+    pub autojoin_subset_probability: f64,
+    /// Auto-Join's expected number of subsets for one success.
+    pub autojoin_expected_subsets: f64,
+}
+
+impl SamplingAnalysis {
+    /// Computes the analysis row for a coverage fraction and sample size.
+    pub fn compute(coverage: f64, sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            coverage,
+            discovery_probability: discovery_probability(coverage, sample_size),
+            autojoin_subset_probability: autojoin_subset_probability(coverage, sample_size),
+            autojoin_expected_subsets: autojoin_expected_subsets(coverage, sample_size),
+        }
+    }
+}
+
+/// Draws `size` distinct row indices out of `total` uniformly at random
+/// (deterministic for a given seed). When `size >= total` all indices are
+/// returned in order.
+pub fn sample_indices(total: usize, size: usize, seed: u64) -> Vec<usize> {
+    if size >= total {
+        return (0..total).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..total).collect();
+    indices.shuffle(&mut rng);
+    indices.truncate(size);
+    indices.sort_unstable();
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_five_percent_coverage_sample_100() {
+        // Section 5.3: coverage 5%, sample of 100 -> discovery probability 0.96.
+        let p = discovery_probability(0.05, 100);
+        assert!((p - 0.96).abs() < 0.01, "got {p}");
+    }
+
+    #[test]
+    fn paper_example_autojoin_needs_400_subsets() {
+        // Section 5.3: with subsets of size 2 and coverage 5%, Auto-Join
+        // needs 1 / 0.05^2 = 400 subsets in expectation.
+        let expected = autojoin_expected_subsets(0.05, 2);
+        assert!((expected - 400.0).abs() < 1e-9, "got {expected}");
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        for &q in &[0.0, 0.01, 0.3, 0.5, 1.0] {
+            for &s in &[0usize, 1, 2, 10, 100] {
+                for p in [
+                    miss_probability(q, s),
+                    single_row_probability(q, s).min(1.0),
+                    discovery_probability(q, s),
+                    autojoin_subset_probability(q, s),
+                ] {
+                    assert!((0.0..=1.0 + 1e-12).contains(&p), "q={q} s={s} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discovery_monotone_in_sample_size() {
+        let q = 0.1;
+        let mut last = 0.0;
+        for s in [2usize, 5, 10, 50, 100, 500] {
+            let p = discovery_probability(q, s);
+            assert!(p >= last - 1e-12, "not monotone at s={s}");
+            last = p;
+        }
+        assert!(last > 0.99);
+    }
+
+    #[test]
+    fn degenerate_coverages() {
+        assert_eq!(discovery_probability(0.0, 100), 0.0);
+        assert_eq!(discovery_probability(1.0, 2), 1.0);
+        assert_eq!(autojoin_expected_subsets(0.0, 2), f64::INFINITY);
+        assert_eq!(autojoin_expected_subsets(1.0, 5), 1.0);
+    }
+
+    #[test]
+    fn analysis_row() {
+        let a = SamplingAnalysis::compute(0.05, 100);
+        assert_eq!(a.sample_size, 100);
+        assert!(a.discovery_probability > 0.9);
+        assert!(a.autojoin_subset_probability < 0.01);
+        assert!(a.autojoin_expected_subsets > 100.0);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_deterministic() {
+        let a = sample_indices(100, 10, 3);
+        let b = sample_indices(100, 10, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(a.iter().all(|&i| i < 100));
+        // Oversized requests return everything.
+        assert_eq!(sample_indices(5, 10, 0), vec![0, 1, 2, 3, 4]);
+        assert_ne!(sample_indices(100, 10, 3), sample_indices(100, 10, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_coverage_rejected() {
+        let _ = miss_probability(1.5, 10);
+    }
+}

@@ -1,0 +1,146 @@
+//! Small embedded word lists used by the simulated real-world benchmark
+//! generators.
+//!
+//! The lists are intentionally modest (dozens of entries each); the
+//! generators combine them combinatorially, so even small lists yield
+//! thousands of distinct realistic values (names, departments, streets,
+//! cities) without shipping any external data.
+
+/// Common given names.
+pub const FIRST_NAMES: &[&str] = &[
+    "Davood", "Mario", "Douglas", "Andrzej", "Michael", "Simon", "Sarah", "Emily", "James",
+    "Robert", "Linda", "Patricia", "Jennifer", "Elizabeth", "William", "David", "Richard",
+    "Joseph", "Thomas", "Charles", "Christopher", "Daniel", "Matthew", "Anthony", "Donald",
+    "Mark", "Paul", "Steven", "Andrew", "Kenneth", "Joshua", "Kevin", "Brian", "George",
+    "Timothy", "Ronald", "Edward", "Jason", "Jeffrey", "Ryan", "Jacob", "Gary", "Nicholas",
+    "Eric", "Jonathan", "Stephen", "Larry", "Justin", "Scott", "Brandon", "Benjamin", "Samuel",
+    "Gregory", "Alexander", "Patrick", "Frank", "Raymond", "Jack", "Dennis", "Jerry", "Tyler",
+    "Aaron", "Jose", "Adam", "Nathan", "Henry", "Zachary", "Douglas", "Peter", "Kyle", "Noah",
+    "Ethan", "Jeremy", "Walter", "Christian", "Keith", "Roger", "Terry", "Austin", "Sean",
+    "Gerald", "Carl", "Harold", "Dylan", "Arthur", "Lawrence", "Jordan", "Jesse", "Bryan",
+    "Mary", "Susan", "Karen", "Nancy", "Lisa", "Betty", "Margaret", "Sandra", "Ashley",
+    "Kimberly", "Donna", "Carol", "Michelle", "Dorothy", "Amanda", "Melissa", "Deborah",
+];
+
+/// Common family names.
+pub const LAST_NAMES: &[&str] = &[
+    "Rafiei", "Nascimento", "Gingrich", "Prus-Czarnecki", "Bowling", "Gosgnach", "Smith",
+    "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker",
+    "Hall", "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips",
+    "Evans", "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart",
+    "Morris", "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper",
+    "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward",
+    "Richardson", "Watson", "Brooks", "Chavez", "Wood", "James", "Bennett", "Gray", "Mendoza",
+    "Ruiz", "Hughes", "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+];
+
+/// University-style departments with a founding year used by the web-tables
+/// generator ("CS (2000)" style values).
+pub const DEPARTMENTS: &[&str] = &[
+    "CS", "Physics", "Physiology", "Mathematics", "Chemistry", "Biology", "History",
+    "Philosophy", "Economics", "Psychology", "Linguistics", "Sociology", "Statistics",
+    "Anthropology", "Geography", "Music", "Drama", "English", "Nursing", "Law",
+];
+
+/// Street names for the open-data (address) generator. Kept deliberately
+/// small so that many addresses share street tokens and the n-gram matcher
+/// sees the low-precision regime the paper reports for Open data.
+pub const STREETS: &[&str] = &[
+    "124 STREET", "JASPER AVENUE", "WHYTE AVENUE", "104 AVENUE", "109 STREET", "GATEWAY BOULEVARD",
+    "CALGARY TRAIL", "STONY PLAIN ROAD", "KINGSWAY", "FORT ROAD", "111 AVENUE", "97 STREET",
+    "SASKATCHEWAN DRIVE", "TERWILLEGAR DRIVE", "ELLERSLIE ROAD", "RABBIT HILL ROAD",
+];
+
+/// Street quadrant suffixes.
+pub const QUADRANTS: &[&str] = &["NW", "SW", "NE", "SE"];
+
+/// Cities for contextual columns.
+pub const CITIES: &[&str] = &[
+    "Edmonton", "Calgary", "Vancouver", "Toronto", "Montreal", "Ottawa", "Winnipeg", "Halifax",
+    "Victoria", "Saskatoon", "Regina", "Quebec City", "Hamilton", "Kitchener", "London",
+];
+
+/// US states with their postal abbreviations (used by governor/state topics
+/// in the simulated web-tables benchmark).
+pub const STATES: &[(&str, &str)] = &[
+    ("California", "CA"),
+    ("Texas", "TX"),
+    ("New York", "NY"),
+    ("Florida", "FL"),
+    ("Illinois", "IL"),
+    ("Pennsylvania", "PA"),
+    ("Ohio", "OH"),
+    ("Georgia", "GA"),
+    ("Michigan", "MI"),
+    ("North Carolina", "NC"),
+    ("New Jersey", "NJ"),
+    ("Virginia", "VA"),
+    ("Washington", "WA"),
+    ("Arizona", "AZ"),
+    ("Massachusetts", "MA"),
+    ("Tennessee", "TN"),
+    ("Indiana", "IN"),
+    ("Missouri", "MO"),
+    ("Maryland", "MD"),
+    ("Wisconsin", "WI"),
+    ("Colorado", "CO"),
+    ("Minnesota", "MN"),
+    ("South Carolina", "SC"),
+    ("Alabama", "AL"),
+    ("Louisiana", "LA"),
+    ("Kentucky", "KY"),
+    ("Oregon", "OR"),
+    ("Oklahoma", "OK"),
+    ("Connecticut", "CT"),
+    ("Utah", "UT"),
+    ("Iowa", "IA"),
+    ("Nevada", "NV"),
+];
+
+/// Months, for date-format topics.
+pub const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// Company-style suffixes for business listings.
+pub const COMPANY_SUFFIXES: &[&str] = &["Inc", "Ltd", "LLC", "Corp", "Co", "Group", "Holdings"];
+
+/// Business base names.
+pub const BUSINESS_NAMES: &[&str] = &[
+    "Prairie Coffee", "Northern Lights Dental", "River Valley Auto", "Aurora Books",
+    "Glacier Plumbing", "Summit Physio", "Capital Electric", "Maple Leaf Bakery",
+    "Foothills Optometry", "Whitemud Veterinary", "Oliver Barbers", "Strathcona Cycles",
+    "Garneau Cleaners", "Bonnie Doon Florist", "Mill Creek Yoga", "Hazeldean Hardware",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_are_nonempty_and_reasonably_sized() {
+        assert!(FIRST_NAMES.len() >= 50);
+        assert!(LAST_NAMES.len() >= 50);
+        assert!(DEPARTMENTS.len() >= 10);
+        assert!(STREETS.len() >= 10);
+        assert_eq!(QUADRANTS.len(), 4);
+        assert!(STATES.len() >= 30);
+        assert_eq!(MONTHS.len(), 12);
+    }
+
+    #[test]
+    fn no_empty_entries() {
+        for s in FIRST_NAMES.iter().chain(LAST_NAMES).chain(DEPARTMENTS).chain(STREETS) {
+            assert!(!s.is_empty());
+        }
+        for (name, abbr) in STATES {
+            assert!(!name.is_empty());
+            assert_eq!(abbr.len(), 2);
+        }
+    }
+}

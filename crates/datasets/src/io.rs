@@ -1,0 +1,227 @@
+//! Minimal CSV/TSV reading and writing for [`Table`]s.
+//!
+//! The workspace keeps to the approved offline dependency set, so this is a
+//! small RFC-4180-style implementation (quoted fields, embedded quotes
+//! doubled, embedded newlines inside quotes) rather than a `csv` crate
+//! dependency. It is sufficient for loading user-provided table pairs into
+//! the join pipeline and for persisting experiment outputs.
+
+use crate::table::Table;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parses CSV text into a [`Table`]. The first record is the header.
+///
+/// Returns an error when records have inconsistent arity or a quoted field is
+/// left unterminated.
+pub fn parse_csv(name: &str, text: &str) -> io::Result<Table> {
+    parse_delimited(name, text, ',')
+}
+
+/// Parses TSV text into a [`Table`] (tab delimiter, same quoting rules).
+pub fn parse_tsv(name: &str, text: &str) -> io::Result<Table> {
+    parse_delimited(name, text, '\t')
+}
+
+/// Parses delimiter-separated text with RFC-4180 quoting.
+pub fn parse_delimited(name: &str, text: &str, delim: char) -> io::Result<Table> {
+    let records = parse_records(text, delim)?;
+    let mut iter = records.into_iter();
+    let header = iter
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty input"))?;
+    let mut table = Table::new(name, header);
+    for (i, record) in iter.enumerate() {
+        if record.len() != table.column_count() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "record {} has {} fields, expected {}",
+                    i + 2,
+                    record.len(),
+                    table.column_count()
+                ),
+            ));
+        }
+        table.push_row(record);
+    }
+    Ok(table)
+}
+
+fn parse_records(text: &str, delim: char) -> io::Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any_char = false;
+
+    while let Some(c) = chars.next() {
+        any_char = true;
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' && field.is_empty() {
+            in_quotes = true;
+        } else if c == delim {
+            record.push(std::mem::take(&mut field));
+        } else if c == '\r' {
+            // swallow; handled with the following \n (or ignored)
+        } else if c == '\n' {
+            record.push(std::mem::take(&mut field));
+            records.push(std::mem::take(&mut record));
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unterminated quoted field",
+        ));
+    }
+    if any_char && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Serializes a [`Table`] to CSV text (header + rows).
+pub fn to_csv(table: &Table) -> String {
+    to_delimited(table, ',')
+}
+
+/// Serializes a [`Table`] to TSV text.
+pub fn to_tsv(table: &Table) -> String {
+    to_delimited(table, '\t')
+}
+
+fn to_delimited(table: &Table, delim: char) -> String {
+    let mut out = String::new();
+    write_record(&mut out, &table.columns, delim);
+    for row in &table.rows {
+        write_record(&mut out, row, delim);
+    }
+    out
+}
+
+fn write_record(out: &mut String, fields: &[String], delim: char) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(delim);
+        }
+        if f.contains(delim) || f.contains('"') || f.contains('\n') {
+            let escaped = f.replace('"', "\"\"");
+            let _ = write!(out, "\"{escaped}\"");
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+/// Reads a CSV file from disk into a [`Table`] named after the file stem.
+pub fn read_csv_file(path: impl AsRef<Path>) -> io::Result<Table> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("table")
+        .to_owned();
+    parse_csv(&name, &text)
+}
+
+/// Writes a [`Table`] to a CSV file.
+pub fn write_csv_file(table: &Table, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_csv(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_csv() {
+        let t = parse_csv("x", "a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(t.columns, vec!["a", "b"]);
+        assert_eq!(t.rows, vec![vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn parse_without_trailing_newline() {
+        let t = parse_csv("x", "a,b\n1,2").unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let t = parse_csv("x", "name,addr\n\"Rafiei, Davood\",\"10230 \"\"A\"\" St\"\n").unwrap();
+        assert_eq!(t.rows[0][0], "Rafiei, Davood");
+        assert_eq!(t.rows[0][1], "10230 \"A\" St");
+    }
+
+    #[test]
+    fn parse_embedded_newline_in_quotes() {
+        let t = parse_csv("x", "a,b\n\"line1\nline2\",2\n").unwrap();
+        assert_eq!(t.rows[0][0], "line1\nline2");
+    }
+
+    #[test]
+    fn parse_crlf() {
+        let t = parse_csv("x", "a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.rows, vec![vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_csv("x", "").is_err());
+        assert!(parse_csv("x", "a,b\n1\n").is_err());
+        assert!(parse_csv("x", "a,b\n\"unterminated,2\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_csv() {
+        let mut t = Table::new("rt", vec!["name".into(), "note".into()]);
+        t.push_row(vec!["Rafiei, Davood".into(), "said \"hi\"".into()]);
+        t.push_row(vec!["plain".into(), "multi\nline".into()]);
+        let text = to_csv(&t);
+        let parsed = parse_csv("rt", &text).unwrap();
+        assert_eq!(parsed.columns, t.columns);
+        assert_eq!(parsed.rows, t.rows);
+    }
+
+    #[test]
+    fn round_trip_tsv() {
+        let mut t = Table::new("rt", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["x\ty".into(), "z".into()]);
+        let text = to_tsv(&t);
+        let parsed = parse_tsv("rt", &text).unwrap();
+        assert_eq!(parsed.rows, t.rows);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("tjoin-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.csv");
+        let mut t = Table::new("table", vec!["a".into()]);
+        t.push_row(vec!["v1".into()]);
+        write_csv_file(&t, &path).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back.name, "table");
+        assert_eq!(back.rows, t.rows);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

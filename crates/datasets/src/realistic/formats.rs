@@ -1,0 +1,246 @@
+//! Formatting helpers shared by the simulated benchmark generators.
+//!
+//! Each helper renders the same underlying entity (a person, a phone number,
+//! a date) in one of several surface formats; the generators pick different
+//! formats for the source and target columns so the pair is joinable only
+//! under a string transformation, exactly like the paper's motivating
+//! examples (Figure 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A person with a first name, optional middle name, and last name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PersonName {
+    /// Given name.
+    pub first: String,
+    /// Optional middle name.
+    pub middle: Option<String>,
+    /// Family name.
+    pub last: String,
+}
+
+impl PersonName {
+    /// Creates a person without a middle name.
+    pub fn new(first: impl Into<String>, last: impl Into<String>) -> Self {
+        Self {
+            first: first.into(),
+            middle: None,
+            last: last.into(),
+        }
+    }
+
+    /// Creates a person with a middle name.
+    pub fn with_middle(
+        first: impl Into<String>,
+        middle: impl Into<String>,
+        last: impl Into<String>,
+    ) -> Self {
+        Self {
+            first: first.into(),
+            middle: Some(middle.into()),
+            last: last.into(),
+        }
+    }
+}
+
+/// Surface formats for a [`PersonName`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PersonStyle {
+    /// "Rafiei, Davood" (middle initial appended when present).
+    LastCommaFirst,
+    /// "Davood Rafiei".
+    FirstLast,
+    /// "D Rafiei".
+    InitialLast,
+    /// "D. Rafiei".
+    InitialDotLast,
+    /// "davood.rafiei@ualberta.ca" style email (lowercased).
+    Email {
+        /// Domain appended after the `@`.
+        domain: &'static str,
+    },
+    /// "drafiei" style user id (first initial + last name, lowercased).
+    UserId,
+    /// "RAFIEI, DAVOOD" (upper-case roster style).
+    UpperLastCommaFirst,
+}
+
+/// Renders a person in the requested style.
+pub fn format_person(p: &PersonName, style: PersonStyle) -> String {
+    let initial = p.first.chars().next().unwrap_or('X');
+    match style {
+        PersonStyle::LastCommaFirst => match &p.middle {
+            Some(m) => format!("{}, {} {}", p.last, p.first, initial_of(m)),
+            None => format!("{}, {}", p.last, p.first),
+        },
+        PersonStyle::FirstLast => match &p.middle {
+            Some(m) => format!("{} {} {}", p.first, m, p.last),
+            None => format!("{} {}", p.first, p.last),
+        },
+        PersonStyle::InitialLast => format!("{} {}", initial, p.last),
+        PersonStyle::InitialDotLast => format!("{}. {}", initial, p.last),
+        PersonStyle::Email { domain } => format!(
+            "{}.{}@{}",
+            p.first.to_lowercase().replace(' ', ""),
+            p.last.to_lowercase().replace(' ', ""),
+            domain
+        ),
+        PersonStyle::UserId => format!(
+            "{}{}",
+            initial.to_lowercase(),
+            p.last.to_lowercase().replace([' ', '-'], "")
+        ),
+        PersonStyle::UpperLastCommaFirst => {
+            format!("{}, {}", p.last.to_uppercase(), p.first.to_uppercase())
+        }
+    }
+}
+
+fn initial_of(s: &str) -> char {
+    s.chars().next().unwrap_or('X')
+}
+
+/// Surface formats for a 10-digit North-American phone number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhoneStyle {
+    /// "(780) 433-6545".
+    Parenthesized,
+    /// "+1 780 433 6545".
+    International,
+    /// "1-780-433-6545".
+    Dashed,
+    /// "780.433.6545".
+    Dotted,
+    /// "7804336545".
+    Digits,
+}
+
+/// Renders the 10 digits (area code + 7 digits) in the requested style.
+/// Panics if `digits` does not contain exactly 10 ASCII digits.
+pub fn format_phone(digits: &str, style: PhoneStyle) -> String {
+    assert_eq!(digits.len(), 10, "expected 10 digits, got {digits:?}");
+    assert!(digits.bytes().all(|b| b.is_ascii_digit()));
+    let area = &digits[0..3];
+    let mid = &digits[3..6];
+    let last = &digits[6..10];
+    match style {
+        PhoneStyle::Parenthesized => format!("({area}) {mid}-{last}"),
+        PhoneStyle::International => format!("+1 {area} {mid} {last}"),
+        PhoneStyle::Dashed => format!("1-{area}-{mid}-{last}"),
+        PhoneStyle::Dotted => format!("{area}.{mid}.{last}"),
+        PhoneStyle::Digits => digits.to_owned(),
+    }
+}
+
+/// Surface formats for a calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DateStyle {
+    /// "January 5, 2020".
+    MonthNameDayYear,
+    /// "2020-01-05".
+    Iso,
+    /// "05/01/2020" (day/month/year).
+    DayMonthYearSlash,
+    /// "Jan 5 2020".
+    ShortMonth,
+}
+
+/// Renders a (year, month 1-12, day 1-31) triple in the requested style.
+pub fn format_date(year: u32, month: u32, day: u32, style: DateStyle) -> String {
+    assert!((1..=12).contains(&month), "month out of range: {month}");
+    assert!((1..=31).contains(&day), "day out of range: {day}");
+    let month_name = crate::corpus::MONTHS[(month - 1) as usize];
+    match style {
+        DateStyle::MonthNameDayYear => format!("{month_name} {day}, {year}"),
+        DateStyle::Iso => format!("{year}-{month:02}-{day:02}"),
+        DateStyle::DayMonthYearSlash => format!("{day:02}/{month:02}/{year}"),
+        DateStyle::ShortMonth => format!("{} {} {}", &month_name[..3], day, year),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PersonName {
+        PersonName::with_middle("Mario", "Alberto", "Nascimento")
+    }
+
+    #[test]
+    fn person_formats() {
+        let p = sample();
+        assert_eq!(
+            format_person(&p, PersonStyle::LastCommaFirst),
+            "Nascimento, Mario A"
+        );
+        assert_eq!(
+            format_person(&p, PersonStyle::FirstLast),
+            "Mario Alberto Nascimento"
+        );
+        assert_eq!(format_person(&p, PersonStyle::InitialLast), "M Nascimento");
+        assert_eq!(format_person(&p, PersonStyle::InitialDotLast), "M. Nascimento");
+        assert_eq!(
+            format_person(&p, PersonStyle::Email { domain: "ualberta.ca" }),
+            "mario.nascimento@ualberta.ca"
+        );
+        assert_eq!(format_person(&p, PersonStyle::UserId), "mnascimento");
+        assert_eq!(
+            format_person(&p, PersonStyle::UpperLastCommaFirst),
+            "NASCIMENTO, MARIO"
+        );
+    }
+
+    #[test]
+    fn person_without_middle() {
+        let p = PersonName::new("Davood", "Rafiei");
+        assert_eq!(format_person(&p, PersonStyle::LastCommaFirst), "Rafiei, Davood");
+        assert_eq!(format_person(&p, PersonStyle::FirstLast), "Davood Rafiei");
+    }
+
+    #[test]
+    fn hyphenated_last_name_user_id() {
+        let p = PersonName::new("Andrzej", "Prus-Czarnecki");
+        assert_eq!(format_person(&p, PersonStyle::UserId), "aprusczarnecki");
+    }
+
+    #[test]
+    fn phone_formats_match_paper_intro() {
+        assert_eq!(
+            format_phone("7804323636", PhoneStyle::Parenthesized),
+            "(780) 432-3636"
+        );
+        assert_eq!(
+            format_phone("7804323636", PhoneStyle::International),
+            "+1 780 432 3636"
+        );
+        assert_eq!(format_phone("7804323636", PhoneStyle::Dashed), "1-780-432-3636");
+        assert_eq!(format_phone("7804323636", PhoneStyle::Dotted), "780.432.3636");
+        assert_eq!(format_phone("7804323636", PhoneStyle::Digits), "7804323636");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 10 digits")]
+    fn phone_requires_ten_digits() {
+        let _ = format_phone("12345", PhoneStyle::Digits);
+    }
+
+    #[test]
+    fn date_formats() {
+        assert_eq!(
+            format_date(2020, 1, 5, DateStyle::MonthNameDayYear),
+            "January 5, 2020"
+        );
+        assert_eq!(format_date(2020, 1, 5, DateStyle::Iso), "2020-01-05");
+        assert_eq!(
+            format_date(2020, 1, 5, DateStyle::DayMonthYearSlash),
+            "05/01/2020"
+        );
+        assert_eq!(format_date(2020, 1, 5, DateStyle::ShortMonth), "Jan 5 2020");
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn date_month_validated() {
+        let _ = format_date(2020, 13, 1, DateStyle::Iso);
+    }
+}

@@ -1,0 +1,312 @@
+//! Synthetic benchmark generator (Section 6.1 of the paper).
+//!
+//! The generator creates a source table of random alphanumeric strings, draws
+//! a small set of ground-truth transformations, and applies a randomly chosen
+//! one to every source row to produce the target table. `Synth-N` uses source
+//! lengths in `[20, 35]`, `Synth-NL` uses `[40, 70]`; each ground-truth
+//! transformation has `p = 2` placeholders and 1–2 literal blocks of length
+//! 1–5, and 3 transformations cover each table, matching the parameters the
+//! paper reports.
+
+use crate::table::{ColumnPair, Table, TablePair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tjoin_units::{Transformation, Unit};
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticConfig {
+    /// Number of rows in each table.
+    pub rows: usize,
+    /// Inclusive range of source string lengths (characters).
+    pub source_len: (usize, usize),
+    /// Number of ground-truth transformations covering the table (paper: 3).
+    pub transformations: usize,
+    /// Placeholders (non-constant units) per transformation (paper: 2).
+    pub placeholders_per_transformation: usize,
+    /// Inclusive range of the number of literal blocks per transformation
+    /// (paper: 1–2).
+    pub literals_per_transformation: (usize, usize),
+    /// Inclusive range of literal block lengths (paper: 1–5).
+    pub literal_len: (usize, usize),
+}
+
+impl SyntheticConfig {
+    /// `Synth-N`: `rows` rows, source lengths 20–35 (paper Section 6.1).
+    pub fn synth(rows: usize) -> Self {
+        Self {
+            rows,
+            source_len: (20, 35),
+            transformations: 3,
+            placeholders_per_transformation: 2,
+            literals_per_transformation: (1, 2),
+            literal_len: (1, 5),
+        }
+    }
+
+    /// `Synth-NL`: `rows` rows, source lengths 40–70.
+    pub fn synth_long(rows: usize) -> Self {
+        Self {
+            source_len: (40, 70),
+            ..Self::synth(rows)
+        }
+    }
+
+    /// A configuration with every source row exactly `len` characters long —
+    /// used by the Figure 3 / Figure 4b length sweeps.
+    pub fn with_fixed_length(rows: usize, len: usize) -> Self {
+        Self {
+            rows,
+            source_len: (len, len),
+            ..Self::synth(rows)
+        }
+    }
+
+    /// Generates a dataset with the given RNG seed. The same seed always
+    /// yields the same dataset.
+    pub fn generate(&self, seed: u64) -> SyntheticDataset {
+        assert!(self.rows > 0, "need at least one row");
+        assert!(self.source_len.0 >= 4, "source strings must have length >= 4");
+        assert!(
+            self.source_len.0 <= self.source_len.1,
+            "source length range must not be inverted"
+        );
+        assert!(self.placeholders_per_transformation >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let sources: Vec<String> = (0..self.rows)
+            .map(|_| {
+                let len = rng.gen_range(self.source_len.0..=self.source_len.1);
+                random_alphanumeric(&mut rng, len)
+            })
+            .collect();
+
+        let min_len = self.source_len.0;
+        let mut transformations = Vec::with_capacity(self.transformations);
+        let mut attempts = 0;
+        while transformations.len() < self.transformations {
+            let t = self.random_transformation(&mut rng, min_len);
+            if !transformations.contains(&t) {
+                transformations.push(t);
+            }
+            attempts += 1;
+            assert!(
+                attempts < 1000,
+                "could not draw {} distinct transformations",
+                self.transformations
+            );
+        }
+
+        let mut assignment = Vec::with_capacity(self.rows);
+        let mut targets = Vec::with_capacity(self.rows);
+        for src in &sources {
+            let which = rng.gen_range(0..transformations.len());
+            assignment.push(which);
+            let out = transformations[which]
+                .apply(src)
+                .expect("ground-truth transformation must apply to its source");
+            targets.push(out);
+        }
+
+        let label = format!(
+            "synth-{}{}",
+            self.rows,
+            if self.source_len.0 >= 40 { "L" } else { "" }
+        );
+        let source_table = Table::single_column(format!("{label}-source"), "value", sources);
+        let target_table = Table::single_column(format!("{label}-target"), "value", targets);
+        let golden = (0..self.rows as u32).map(|i| (i, i)).collect();
+        let pair = TablePair {
+            name: label,
+            source: source_table,
+            target: target_table,
+            source_join_column: 0,
+            target_join_column: 0,
+            golden_pairs: golden,
+        };
+
+        SyntheticDataset {
+            pair,
+            true_transformations: transformations,
+            assignment,
+        }
+    }
+
+    /// Draws one ground-truth transformation valid for every source length
+    /// `>= min_len`: placeholders are `Substr` ranges inside `[0, min_len)`
+    /// (the paper's synthetic sources are plain alphanumeric strings, so
+    /// split-based placeholders would not be applicable) interleaved with
+    /// random literal blocks.
+    fn random_transformation(&self, rng: &mut StdRng, min_len: usize) -> Transformation {
+        let literal_count =
+            rng.gen_range(self.literals_per_transformation.0..=self.literals_per_transformation.1);
+        let mut placeholders: Vec<Unit> = (0..self.placeholders_per_transformation)
+            .map(|_| {
+                let start = rng.gen_range(0..min_len - 1);
+                let max_span = (min_len - start).min(10);
+                let len = rng.gen_range(1..=max_span.max(1));
+                Unit::substr(start, start + len)
+            })
+            .collect();
+        let mut literals: Vec<Unit> = (0..literal_count)
+            .map(|_| {
+                let len = rng.gen_range(self.literal_len.0..=self.literal_len.1);
+                Unit::literal(random_literal(rng, len))
+            })
+            .collect();
+
+        // Interleave: shuffle positions of placeholders and literals.
+        let mut units = Vec::with_capacity(placeholders.len() + literals.len());
+        while !placeholders.is_empty() || !literals.is_empty() {
+            let pick_placeholder = if placeholders.is_empty() {
+                false
+            } else if literals.is_empty() {
+                true
+            } else {
+                rng.gen_bool(0.5)
+            };
+            if pick_placeholder {
+                units.push(placeholders.remove(0));
+            } else {
+                units.push(literals.remove(0));
+            }
+        }
+        Transformation::new(units)
+    }
+}
+
+/// The output of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The generated table pair (row `i` of the source joins row `i` of the
+    /// target).
+    pub pair: TablePair,
+    /// The ground-truth transformations used to produce the target column.
+    pub true_transformations: Vec<Transformation>,
+    /// For each row, the index (into `true_transformations`) of the
+    /// transformation that produced its target value.
+    pub assignment: Vec<usize>,
+}
+
+impl SyntheticDataset {
+    /// The join columns as a [`ColumnPair`].
+    pub fn column_pair(&self) -> ColumnPair {
+        self.pair.column_pair()
+    }
+
+    /// The coverage fraction of each ground-truth transformation (how many
+    /// rows it was assigned to).
+    pub fn true_coverages(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.true_transformations.len()];
+        for &a in &self.assignment {
+            counts[a] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.assignment.len() as f64)
+            .collect()
+    }
+}
+
+/// Random lowercase alphanumeric string of `len` characters.
+fn random_alphanumeric(rng: &mut StdRng, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+/// Random literal block: letters plus common separator characters so that
+/// generated targets contain realistic punctuation for the engine to anchor
+/// on.
+fn random_literal(rng: &mut StdRng, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz-._ @";
+    (0..len.max(1))
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = SyntheticConfig::synth(20).generate(7);
+        let b = SyntheticConfig::synth(20).generate(7);
+        assert_eq!(a.pair, b.pair);
+        assert_eq!(a.true_transformations, b.true_transformations);
+        let c = SyntheticConfig::synth(20).generate(8);
+        assert_ne!(a.pair, c.pair);
+    }
+
+    #[test]
+    fn row_counts_and_lengths_follow_config() {
+        let d = SyntheticConfig::synth(50).generate(1);
+        let cp = d.column_pair();
+        assert_eq!(cp.source_len(), 50);
+        assert_eq!(cp.target_len(), 50);
+        for s in &cp.source {
+            let l = s.chars().count();
+            assert!((20..=35).contains(&l), "length {l} out of range");
+        }
+        let d = SyntheticConfig::synth_long(10).generate(1);
+        for s in &d.column_pair().source {
+            let l = s.chars().count();
+            assert!((40..=70).contains(&l));
+        }
+    }
+
+    #[test]
+    fn fixed_length_config() {
+        let d = SyntheticConfig::with_fixed_length(10, 60).generate(3);
+        for s in &d.column_pair().source {
+            assert_eq!(s.chars().count(), 60);
+        }
+    }
+
+    #[test]
+    fn ground_truth_transformations_cover_their_rows() {
+        let d = SyntheticConfig::synth(100).generate(42);
+        let cp = d.column_pair();
+        for (i, (src, tgt)) in cp.source.iter().zip(cp.target.iter()).enumerate() {
+            let t = &d.true_transformations[d.assignment[i]];
+            assert_eq!(t.apply(src).as_deref(), Some(tgt.as_str()));
+        }
+    }
+
+    #[test]
+    fn three_distinct_transformations() {
+        let d = SyntheticConfig::synth(30).generate(11);
+        assert_eq!(d.true_transformations.len(), 3);
+        assert_ne!(d.true_transformations[0], d.true_transformations[1]);
+        assert_ne!(d.true_transformations[1], d.true_transformations[2]);
+        for t in &d.true_transformations {
+            assert_eq!(t.placeholder_count(), 2);
+            let lits = t.literal_count();
+            assert!((1..=2).contains(&lits));
+        }
+    }
+
+    #[test]
+    fn coverages_sum_to_one() {
+        let d = SyntheticConfig::synth(200).generate(5);
+        let total: f64 = d.true_coverages().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // With 200 rows and 3 transformations, each should be used at least once.
+        assert!(d.true_coverages().iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn golden_pairs_are_aligned() {
+        let d = SyntheticConfig::synth(10).generate(2);
+        assert_eq!(d.pair.golden_pairs.len(), 10);
+        assert!(d.pair.golden_pairs.iter().all(|&(s, t)| s == t));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_rejected() {
+        let _ = SyntheticConfig::synth(0).generate(1);
+    }
+}

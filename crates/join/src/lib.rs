@@ -1,0 +1,22 @@
+//! # tjoin-join
+//!
+//! The end-to-end join pipeline (Section 4.2 and Section 6.5 of the paper):
+//!
+//! 1. find candidate joinable row pairs (n-gram matching, or the golden
+//!    mapping for oracle experiments);
+//! 2. discover a transformation set over those pairs with the synthesis
+//!    engine (or a baseline);
+//! 3. keep transformations above a minimum support;
+//! 4. apply them to every source row and equi-join the transformed values
+//!    against the target column;
+//! 5. evaluate the predicted row pairs against the golden mapping
+//!    (precision / recall / F1 — Table 3).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod evaluate;
+pub mod pipeline;
+
+pub use evaluate::{evaluate_join, JoinMetrics};
+pub use pipeline::{JoinOutcome, JoinPipeline, JoinPipelineConfig, RowMatchingStrategy};

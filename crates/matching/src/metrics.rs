@@ -1,0 +1,107 @@
+//! Row-matching quality metrics (precision, recall, F1) — Table 1 of the
+//! paper.
+
+use crate::ngram::RowMatch;
+use serde::{Deserialize, Serialize};
+
+/// Precision / recall / F1 of a candidate pair set against a golden mapping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatchingMetrics {
+    /// Number of candidate pairs produced.
+    pub candidates: usize,
+    /// Number of golden pairs.
+    pub golden: usize,
+    /// Candidate pairs that are also golden.
+    pub true_positives: usize,
+    /// Precision = TP / candidates.
+    pub precision: f64,
+    /// Recall = TP / golden.
+    pub recall: f64,
+    /// F1 = harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Evaluates candidate pairs against the golden mapping.
+pub fn evaluate_pairs(candidates: &[RowMatch], golden: &[(u32, u32)]) -> MatchingMetrics {
+    let golden_set: std::collections::HashSet<(u32, u32)> = golden.iter().copied().collect();
+    let candidate_set: std::collections::HashSet<(u32, u32)> = candidates
+        .iter()
+        .map(|m| (m.source_row, m.target_row))
+        .collect();
+    let true_positives = candidate_set.intersection(&golden_set).count();
+    let precision = if candidate_set.is_empty() {
+        0.0
+    } else {
+        true_positives as f64 / candidate_set.len() as f64
+    };
+    let recall = if golden_set.is_empty() {
+        0.0
+    } else {
+        true_positives as f64 / golden_set.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    MatchingMetrics {
+        candidates: candidate_set.len(),
+        golden: golden_set.len(),
+        true_positives,
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(s: u32, t: u32) -> RowMatch {
+        RowMatch {
+            source_row: s,
+            target_row: t,
+        }
+    }
+
+    #[test]
+    fn perfect_matching() {
+        let golden = vec![(0, 0), (1, 1)];
+        let metrics = evaluate_pairs(&[m(0, 0), m(1, 1)], &golden);
+        assert_eq!(metrics.true_positives, 2);
+        assert!((metrics.precision - 1.0).abs() < 1e-12);
+        assert!((metrics.recall - 1.0).abs() < 1e-12);
+        assert!((metrics.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_matching() {
+        let golden = vec![(0, 0), (1, 1), (2, 2), (3, 3)];
+        // 2 true positives, 2 false positives, 2 missed.
+        let metrics = evaluate_pairs(&[m(0, 0), m(1, 1), m(0, 3), m(2, 1)], &golden);
+        assert_eq!(metrics.true_positives, 2);
+        assert!((metrics.precision - 0.5).abs() < 1e-12);
+        assert!((metrics.recall - 0.5).abs() < 1e-12);
+        assert!((metrics.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_candidates_or_golden() {
+        let metrics = evaluate_pairs(&[], &[(0, 0)]);
+        assert_eq!(metrics.precision, 0.0);
+        assert_eq!(metrics.recall, 0.0);
+        assert_eq!(metrics.f1, 0.0);
+        let metrics = evaluate_pairs(&[m(0, 0)], &[]);
+        assert_eq!(metrics.recall, 0.0);
+        assert_eq!(metrics.f1, 0.0);
+    }
+
+    #[test]
+    fn duplicate_candidates_counted_once() {
+        let golden = vec![(0, 0)];
+        let metrics = evaluate_pairs(&[m(0, 0), m(0, 0), m(0, 0)], &golden);
+        assert_eq!(metrics.candidates, 1);
+        assert!((metrics.precision - 1.0).abs() < 1e-12);
+    }
+}

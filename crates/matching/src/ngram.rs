@@ -1,0 +1,305 @@
+//! The representative-n-gram row matcher (Algorithm 1 of the paper).
+//!
+//! For each source row and each n-gram size `n0 ≤ n ≤ nmax`, the n-gram with
+//! the highest Rscore (rare in both columns, equations 1–2) is the row's
+//! *representative* of that size; every target row containing at least one
+//! representative becomes a candidate joinable pair. An inverted n-gram
+//! index over the target column makes the lookup O(1) per representative.
+
+use serde::{Deserialize, Serialize};
+use tjoin_datasets::ColumnPair;
+use tjoin_text::{
+    char_ngrams, normalize_for_matching, ColumnStats, FxHashSet, NGramIndex, NormalizeOptions,
+};
+
+/// Configuration of the [`NGramMatcher`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NGramMatcherConfig {
+    /// Smallest representative n-gram size (the paper tunes `n0 = 4`).
+    pub n_min: usize,
+    /// Largest representative n-gram size (the paper uses 20, "roughly up to
+    /// half the length of the input rows").
+    pub n_max: usize,
+    /// Normalization applied to both columns before matching.
+    pub normalize: NormalizeOptions,
+    /// Optional cap on the number of target rows a single representative may
+    /// match before it is considered non-discriminative and skipped
+    /// (`None` = no cap). This is an engineering guard for pathological
+    /// columns; the paper's experiments run uncapped.
+    pub max_matches_per_representative: Option<usize>,
+}
+
+impl Default for NGramMatcherConfig {
+    fn default() -> Self {
+        Self {
+            n_min: 4,
+            n_max: 20,
+            normalize: NormalizeOptions::default(),
+            max_matches_per_representative: None,
+        }
+    }
+}
+
+/// A candidate joinable row pair produced by the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RowMatch {
+    /// Source row index.
+    pub source_row: u32,
+    /// Target row index.
+    pub target_row: u32,
+}
+
+/// The representative-n-gram row matcher.
+#[derive(Debug, Clone)]
+pub struct NGramMatcher {
+    config: NGramMatcherConfig,
+}
+
+impl NGramMatcher {
+    /// Creates a matcher with the given configuration.
+    pub fn new(config: NGramMatcherConfig) -> Self {
+        assert!(config.n_min >= 1, "n_min must be at least 1");
+        assert!(config.n_min <= config.n_max, "n_min must not exceed n_max");
+        Self { config }
+    }
+
+    /// Creates a matcher with the paper's default parameters (`n0 = 4`,
+    /// `nmax = 20`).
+    pub fn with_defaults() -> Self {
+        Self::new(NGramMatcherConfig::default())
+    }
+
+    /// The matcher configuration.
+    pub fn config(&self) -> &NGramMatcherConfig {
+        &self.config
+    }
+
+    /// Chooses which column should be treated as the source: the paper tags
+    /// the more informative column — approximated by the longer average value
+    /// length — as the source. Returns `true` when the pair's columns should
+    /// be swapped (i.e. the target column is the more informative one).
+    pub fn should_swap(pair: &ColumnPair) -> bool {
+        let avg = |col: &[String]| {
+            if col.is_empty() {
+                return 0.0;
+            }
+            col.iter().map(|v| v.chars().count()).sum::<usize>() as f64 / col.len() as f64
+        };
+        avg(&pair.target) > avg(&pair.source)
+    }
+
+    /// Runs Algorithm 1: finds candidate joinable row pairs between the
+    /// source and target columns of `pair`.
+    pub fn find_candidates(&self, pair: &ColumnPair) -> Vec<RowMatch> {
+        let source: Vec<String> = pair
+            .source
+            .iter()
+            .map(|v| normalize_for_matching(v, &self.config.normalize))
+            .collect();
+        let target: Vec<String> = pair
+            .target
+            .iter()
+            .map(|v| normalize_for_matching(v, &self.config.normalize))
+            .collect();
+
+        // Column statistics for IRF on both sides and the inverted index on
+        // the target column for the containment lookup.
+        let source_stats = ColumnStats::build(&source, self.config.n_min, self.config.n_max);
+        let target_stats = ColumnStats::build(&target, self.config.n_min, self.config.n_max);
+        let target_index = NGramIndex::build(&target, self.config.n_min, self.config.n_max);
+
+        let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let mut out: Vec<RowMatch> = Vec::new();
+
+        for n in self.config.n_min..=self.config.n_max {
+            for (row_id, row) in source.iter().enumerate() {
+                let grams = char_ngrams(row, n);
+                if grams.is_empty() {
+                    continue;
+                }
+                // argmax Rscore over the row's n-grams of this size.
+                let mut best: Option<(&str, f64)> = None;
+                for g in grams {
+                    let score = source_stats.irf(g) * target_stats.irf(g);
+                    if score <= 0.0 {
+                        continue;
+                    }
+                    match best {
+                        Some((_, s)) if s >= score => {}
+                        _ => best = Some((g, score)),
+                    }
+                }
+                let Some((rep, _)) = best else { continue };
+                let matches = target_index.rows_containing(rep);
+                if let Some(cap) = self.config.max_matches_per_representative {
+                    if matches.len() > cap {
+                        continue;
+                    }
+                }
+                for &t in matches {
+                    if seen.insert((row_id as u32, t)) {
+                        out.push(RowMatch {
+                            source_row: row_id as u32,
+                            target_row: t,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Materializes candidate pairs as (source value, target value) strings —
+    /// the input format of the synthesis engine. Values are the *original*
+    /// (un-normalized) cell contents; the engine applies its own
+    /// normalization.
+    pub fn candidate_value_pairs(&self, pair: &ColumnPair) -> Vec<(String, String)> {
+        self.find_candidates(pair)
+            .into_iter()
+            .map(|m| {
+                (
+                    pair.source[m.source_row as usize].clone(),
+                    pair.target[m.target_row as usize].clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staff_pair() -> ColumnPair {
+        ColumnPair::aligned(
+            "staff",
+            vec![
+                "Rafiei, Davood".into(),
+                "Nascimento, Mario A".into(),
+                "Gingrich, Douglas M".into(),
+                "Prus-Czarnecki, Andrzej".into(),
+                "Bowling, Michael".into(),
+                "Gosgnach, Simon".into(),
+            ],
+            vec![
+                "D Rafiei".into(),
+                "M A Nascimento".into(),
+                "D Gingrich".into(),
+                "A Prus-czarnecki".into(),
+                "M Bowling".into(),
+                "S Gosgnach".into(),
+            ],
+        )
+    }
+
+    #[test]
+    fn finds_the_true_pairs_on_the_paper_example() {
+        let matcher = NGramMatcher::with_defaults();
+        let found = matcher.find_candidates(&staff_pair());
+        // Every golden pair must be among the candidates (high recall).
+        for i in 0..6u32 {
+            assert!(
+                found
+                    .iter()
+                    .any(|m| m.source_row == i && m.target_row == i),
+                "golden pair {i} missing from {found:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn representative_ngram_limits_false_matches() {
+        // A shared suffix ("@ualberta.ca") must not match every row to every
+        // other row: distinctive user names dominate the Rscore.
+        let pair = ColumnPair::aligned(
+            "emails",
+            vec![
+                "Rafiei, Davood".into(),
+                "Bowling, Michael".into(),
+                "Gosgnach, Simon".into(),
+            ],
+            vec![
+                "davood.rafiei@ualberta.ca".into(),
+                "michael.bowling@ualberta.ca".into(),
+                "simon.gosgnach@ualberta.ca".into(),
+            ],
+        );
+        let matcher = NGramMatcher::with_defaults();
+        let found = matcher.find_candidates(&pair);
+        let false_matches = found
+            .iter()
+            .filter(|m| m.source_row != m.target_row)
+            .count();
+        assert_eq!(false_matches, 0, "false matches: {found:?}");
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn no_candidates_for_disjoint_columns() {
+        let pair = ColumnPair::aligned(
+            "disjoint",
+            vec!["aaaaaa".into(), "bbbbbb".into()],
+            vec!["cccccc".into(), "dddddd".into()],
+        );
+        let matcher = NGramMatcher::with_defaults();
+        assert!(matcher.find_candidates(&pair).is_empty());
+    }
+
+    #[test]
+    fn value_pairs_use_original_strings() {
+        let matcher = NGramMatcher::with_defaults();
+        let values = matcher.candidate_value_pairs(&staff_pair());
+        assert!(values
+            .iter()
+            .any(|(s, t)| s == "Rafiei, Davood" && t == "D Rafiei"));
+    }
+
+    #[test]
+    fn should_swap_picks_longer_column_as_source() {
+        let pair = ColumnPair::aligned(
+            "x",
+            vec!["ab".into(), "cd".into()],
+            vec!["a much longer descriptive value".into(), "another long one".into()],
+        );
+        assert!(NGramMatcher::should_swap(&pair));
+        assert!(!NGramMatcher::should_swap(&staff_pair()));
+    }
+
+    #[test]
+    fn representative_cap_skips_promiscuous_grams() {
+        // All targets share the gram "aaaa"; with a cap of 1 the matcher
+        // refuses to expand it.
+        let pair = ColumnPair::aligned(
+            "caps",
+            vec!["aaaa x".into(), "aaaa y".into()],
+            vec!["aaaa 1".into(), "aaaa 2".into()],
+        );
+        let capped = NGramMatcher::new(NGramMatcherConfig {
+            max_matches_per_representative: Some(1),
+            ..NGramMatcherConfig::default()
+        });
+        assert!(capped.find_candidates(&pair).is_empty());
+        let uncapped = NGramMatcher::with_defaults();
+        assert_eq!(uncapped.find_candidates(&pair).len(), 4);
+    }
+
+    #[test]
+    fn duplicate_pairs_not_reported_twice() {
+        let matcher = NGramMatcher::with_defaults();
+        let found = matcher.find_candidates(&staff_pair());
+        let set: std::collections::HashSet<(u32, u32)> = found
+            .iter()
+            .map(|m| (m.source_row, m.target_row))
+            .collect();
+        assert_eq!(set.len(), found.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_min")]
+    fn invalid_config_rejected() {
+        let _ = NGramMatcher::new(NGramMatcherConfig {
+            n_min: 0,
+            ..NGramMatcherConfig::default()
+        });
+    }
+}

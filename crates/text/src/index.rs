@@ -1,0 +1,179 @@
+//! Inverted n-gram index.
+//!
+//! Section 4.2.1: "we build an inverted index for n-grams that appear in
+//! either the source or the target columns. For a fast access, the inverted
+//! index is organized as a hash with every n-gram of size n0 ≤ n ≤ nmax as a
+//! key and the row ids where the n-gram appears as a data value."
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ngram::char_ngrams;
+use serde::{Deserialize, Serialize};
+
+/// An inverted index from character n-grams (sizes `n_min..=n_max`) to the
+/// ids of the rows containing them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NGramIndex {
+    n_min: usize,
+    n_max: usize,
+    rows: usize,
+    postings: FxHashMap<String, Vec<u32>>,
+}
+
+impl NGramIndex {
+    /// Builds the index over `rows`; row ids are the positions in the slice.
+    ///
+    /// Each row id appears at most once in a posting list even when the
+    /// n-gram occurs several times in that row, and posting lists are sorted.
+    pub fn build<S: AsRef<str>>(rows: &[S], n_min: usize, n_max: usize) -> Self {
+        assert!(n_min >= 1, "n_min must be at least 1");
+        assert!(n_min <= n_max, "n_min must not exceed n_max");
+        let mut postings: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+        for (row_id, row) in rows.iter().enumerate() {
+            let row = row.as_ref();
+            let mut seen: FxHashSet<&str> = FxHashSet::default();
+            for n in n_min..=n_max {
+                let grams = char_ngrams(row, n);
+                if grams.is_empty() {
+                    break;
+                }
+                for g in grams {
+                    seen.insert(g);
+                }
+            }
+            for g in seen {
+                postings.entry(g.to_owned()).or_default().push(row_id as u32);
+            }
+        }
+        for list in postings.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self {
+            n_min,
+            n_max,
+            rows: rows.len(),
+            postings,
+        }
+    }
+
+    /// The n-gram size range `(n_min, n_max)` the index covers.
+    pub fn size_range(&self) -> (usize, usize) {
+        (self.n_min, self.n_max)
+    }
+
+    /// Number of indexed rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of distinct n-grams indexed.
+    pub fn distinct_ngrams(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The sorted ids of rows containing `gram`; empty when unseen.
+    pub fn rows_containing(&self, gram: &str) -> &[u32] {
+        self.postings.get(gram).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of rows containing `gram` (the denominator of IRF).
+    pub fn row_frequency(&self, gram: &str) -> usize {
+        self.rows_containing(gram).len()
+    }
+
+    /// IRF of `gram` over the indexed column (equation 1 of the paper).
+    pub fn irf(&self, gram: &str) -> f64 {
+        crate::scoring::irf(self.row_frequency(gram))
+    }
+
+    /// Ids of rows containing *any* of the given grams (deduplicated, sorted).
+    pub fn rows_containing_any<'a, I>(&self, grams: I) -> Vec<u32>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut out: Vec<u32> = Vec::new();
+        for g in grams {
+            out.extend_from_slice(self.rows_containing(g));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Estimated memory footprint in bytes (keys + posting lists), used by
+    /// scalability reporting.
+    pub fn approximate_bytes(&self) -> usize {
+        self.postings
+            .iter()
+            .map(|(k, v)| k.len() + v.len() * std::mem::size_of::<u32>() + 48)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let rows = vec!["drafiei@ualberta.ca", "mario.nascimento@ualberta.ca"];
+        let idx = NGramIndex::build(&rows, 4, 8);
+        assert_eq!(idx.row_count(), 2);
+        assert_eq!(idx.size_range(), (4, 8));
+        assert_eq!(idx.rows_containing("rafi"), &[0]);
+        assert_eq!(idx.rows_containing("ualberta"), &[0, 1]);
+        assert_eq!(idx.rows_containing("zzzz"), &[] as &[u32]);
+    }
+
+    #[test]
+    fn row_ids_unique_even_with_repeats() {
+        let rows = vec!["abab"];
+        let idx = NGramIndex::build(&rows, 2, 2);
+        assert_eq!(idx.rows_containing("ab"), &[0]);
+    }
+
+    #[test]
+    fn irf_from_index() {
+        let rows = vec!["abcd", "abef", "xyzw"];
+        let idx = NGramIndex::build(&rows, 2, 2);
+        assert!((idx.irf("ab") - 0.5).abs() < 1e-12);
+        assert!((idx.irf("xy") - 1.0).abs() < 1e-12);
+        assert_eq!(idx.irf("qq"), 0.0);
+    }
+
+    #[test]
+    fn rows_containing_any_dedups() {
+        let rows = vec!["abcd", "cdef", "ghij"];
+        let idx = NGramIndex::build(&rows, 2, 2);
+        let hits = idx.rows_containing_any(["ab", "cd", "ef"]);
+        assert_eq!(hits, vec![0, 1]);
+        assert!(idx.rows_containing_any(["zz"]).is_empty());
+    }
+
+    #[test]
+    fn short_rows_skip_large_sizes() {
+        let rows = vec!["ab"];
+        let idx = NGramIndex::build(&rows, 1, 10);
+        assert_eq!(idx.rows_containing("ab"), &[0]);
+        assert_eq!(idx.rows_containing("a"), &[0]);
+        assert_eq!(idx.distinct_ngrams(), 3); // "a", "b", "ab"
+    }
+
+    #[test]
+    #[should_panic(expected = "n_min must be at least 1")]
+    fn zero_n_min_panics() {
+        let _ = NGramIndex::build(&["ab"], 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_min must not exceed n_max")]
+    fn inverted_range_panics() {
+        let _ = NGramIndex::build(&["ab"], 3, 2);
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let idx = NGramIndex::build(&["abcdef"], 2, 3);
+        assert!(idx.approximate_bytes() > 0);
+    }
+}

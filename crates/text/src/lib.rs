@@ -1,0 +1,42 @@
+//! # tjoin-text
+//!
+//! Text substrate shared by the synthesis engine, the row matcher, and the
+//! baselines:
+//!
+//! * [`fxhash`] — a fast, non-cryptographic hasher plus `FxHashMap` /
+//!   `FxHashSet` aliases (implemented in-repo so the workspace only depends on
+//!   the approved crate set).
+//! * [`ngram`] — character n-gram extraction over single strings and columns.
+//! * [`tokenize`] — separator-aware tokenization used to re-split
+//!   maximal-length placeholders (Section 4.1.3 of the paper: "space and
+//!   punctuations as possible common separators").
+//! * [`common`] — common-substring detection between a source and a target
+//!   string: the raw material for placeholders (Definition 4).
+//! * [`index`] — an inverted n-gram index from n-grams to row ids (Section
+//!   4.2.1: "the inverted index is organized as a hash with every n-gram ...
+//!   as a key and the row ids where the n-gram appears as a data value").
+//! * [`scoring`] — Inverse Row Frequency (IRF, Eq. 1) and the representative
+//!   score (Rscore, Eq. 2).
+//! * [`normalize`] — case/whitespace normalization applied before matching
+//!   (the paper ignores capitalization in its running examples).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod common;
+pub mod fxhash;
+pub mod index;
+pub mod ngram;
+pub mod normalize;
+pub mod scoring;
+pub mod tokenize;
+
+pub use common::{common_substring_matches, lcs_ratio, longest_common_substring, CommonMatch};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use index::NGramIndex;
+pub use ngram::{
+    char_ngrams, char_ngrams_in_range, count_distinct_ngrams, ngram_containment, ngram_jaccard,
+};
+pub use normalize::{normalize_for_matching, NormalizeOptions};
+pub use scoring::{irf, rscore, ColumnStats};
+pub use tokenize::{is_separator_char, tokenize_with_separators, Token, TokenKind};

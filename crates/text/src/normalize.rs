@@ -1,0 +1,110 @@
+//! Normalization applied before matching and synthesis.
+//!
+//! The paper's running example "ignores the capitalization in text" and its
+//! datasets mix case and whitespace conventions freely; the end-to-end
+//! pipeline therefore normalizes both columns before row matching and
+//! transformation discovery, and joins on normalized values.
+
+use serde::{Deserialize, Serialize};
+
+/// Options controlling [`normalize_for_matching`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NormalizeOptions {
+    /// Lowercase the text (default: true).
+    pub lowercase: bool,
+    /// Trim leading/trailing whitespace (default: true).
+    pub trim: bool,
+    /// Collapse internal whitespace runs to a single space (default: true).
+    pub collapse_whitespace: bool,
+}
+
+impl Default for NormalizeOptions {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            trim: true,
+            collapse_whitespace: true,
+        }
+    }
+}
+
+impl NormalizeOptions {
+    /// No normalization at all (identity).
+    pub fn none() -> Self {
+        Self {
+            lowercase: false,
+            trim: false,
+            collapse_whitespace: false,
+        }
+    }
+}
+
+/// Normalizes a cell value for matching according to `options`.
+///
+/// ```
+/// use tjoin_text::{normalize_for_matching, NormalizeOptions};
+/// assert_eq!(
+///     normalize_for_matching("  Prus-Czarnecki,   Andrzej ", &NormalizeOptions::default()),
+///     "prus-czarnecki, andrzej"
+/// );
+/// ```
+pub fn normalize_for_matching(text: &str, options: &NormalizeOptions) -> String {
+    let mut s: String = if options.lowercase {
+        text.to_lowercase()
+    } else {
+        text.to_owned()
+    };
+    if options.trim {
+        s = s.trim().to_owned();
+    }
+    if options.collapse_whitespace {
+        let mut out = String::with_capacity(s.len());
+        let mut in_ws = false;
+        for c in s.chars() {
+            if c.is_whitespace() {
+                if !in_ws {
+                    out.push(' ');
+                }
+                in_ws = true;
+            } else {
+                out.push(c);
+                in_ws = false;
+            }
+        }
+        s = out;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_normalization() {
+        let opts = NormalizeOptions::default();
+        assert_eq!(normalize_for_matching("ABC", &opts), "abc");
+        assert_eq!(normalize_for_matching("  a  b  ", &opts), "a b");
+        assert_eq!(normalize_for_matching("a\t\nb", &opts), "a b");
+        assert_eq!(normalize_for_matching("", &opts), "");
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let opts = NormalizeOptions::none();
+        assert_eq!(normalize_for_matching("  A  B ", &opts), "  A  B ");
+    }
+
+    #[test]
+    fn individual_flags() {
+        let mut opts = NormalizeOptions::none();
+        opts.lowercase = true;
+        assert_eq!(normalize_for_matching(" A B ", &opts), " a b ");
+        let mut opts = NormalizeOptions::none();
+        opts.trim = true;
+        assert_eq!(normalize_for_matching(" A B ", &opts), "A B");
+        let mut opts = NormalizeOptions::none();
+        opts.collapse_whitespace = true;
+        assert_eq!(normalize_for_matching("A   B", &opts), "A B");
+    }
+}

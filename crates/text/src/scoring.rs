@@ -1,0 +1,159 @@
+//! Inverse Row Frequency (IRF) and the representative score (Rscore).
+//!
+//! Section 4.2.1 of the paper, equations (1) and (2):
+//!
+//! * `IRF(t, c) = 1 / (number of rows in column c that contain t)`
+//! * `Rscore(t) = IRF(t, SC) · IRF(t, TC)`
+//!
+//! An n-gram with a high Rscore is rare in both columns and therefore a good
+//! *representative* of the entity described by a row — common prefixes, stop
+//! words, and shared domain suffixes (the paper's "@ualberta.ca" example) get
+//! low scores and are not used to pair rows.
+
+use crate::fxhash::FxHashMap;
+use crate::ngram::char_ngrams;
+use serde::{Deserialize, Serialize};
+
+/// Per-column n-gram statistics: for each n-gram (of any size in the indexed
+/// range), the number of rows of the column that contain it at least once.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of rows in the column.
+    pub row_count: usize,
+    /// n-gram → number of rows containing it.
+    row_frequency: FxHashMap<String, u32>,
+}
+
+impl ColumnStats {
+    /// Builds statistics for `rows`, counting every distinct n-gram with size
+    /// in `[n_min, n_max]` once per row in which it occurs.
+    pub fn build<S: AsRef<str>>(rows: &[S], n_min: usize, n_max: usize) -> Self {
+        let mut row_frequency: FxHashMap<String, u32> = FxHashMap::default();
+        for row in rows {
+            let row = row.as_ref();
+            let mut seen: crate::fxhash::FxHashSet<&str> = crate::fxhash::FxHashSet::default();
+            for n in n_min..=n_max {
+                let grams = char_ngrams(row, n);
+                if grams.is_empty() {
+                    break;
+                }
+                for g in grams {
+                    seen.insert(g);
+                }
+            }
+            for g in seen {
+                *row_frequency.entry(g.to_owned()).or_insert(0) += 1;
+            }
+        }
+        Self {
+            row_count: rows.len(),
+            row_frequency,
+        }
+    }
+
+    /// Number of rows containing `gram` (0 when unseen).
+    pub fn row_frequency(&self, gram: &str) -> u32 {
+        self.row_frequency.get(gram).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct n-grams indexed.
+    pub fn distinct_ngrams(&self) -> usize {
+        self.row_frequency.len()
+    }
+
+    /// IRF of `gram` in this column (equation 1). Zero when the gram never
+    /// occurs (so that unseen grams never look representative).
+    pub fn irf(&self, gram: &str) -> f64 {
+        match self.row_frequency(gram) {
+            0 => 0.0,
+            f => 1.0 / f as f64,
+        }
+    }
+}
+
+/// IRF of a gram given the number of rows containing it (equation 1).
+pub fn irf(rows_containing: usize) -> f64 {
+    if rows_containing == 0 {
+        0.0
+    } else {
+        1.0 / rows_containing as f64
+    }
+}
+
+/// Representative score of `gram` across a source and a target column
+/// (equation 2): the product of the two IRFs. Zero when the gram is absent
+/// from either column, so only grams appearing on both sides can pair rows.
+pub fn rscore(gram: &str, source: &ColumnStats, target: &ColumnStats) -> f64 {
+    source.irf(gram) * target.irf(gram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irf_definition() {
+        assert_eq!(irf(0), 0.0);
+        assert_eq!(irf(1), 1.0);
+        assert_eq!(irf(4), 0.25);
+    }
+
+    #[test]
+    fn column_stats_row_frequency_counts_rows_not_occurrences() {
+        // "aaaa" contains the 2-gram "aa" three times but in one row only.
+        let stats = ColumnStats::build(&["aaaa", "aab"], 2, 2);
+        assert_eq!(stats.row_count, 2);
+        assert_eq!(stats.row_frequency("aa"), 2);
+        assert_eq!(stats.row_frequency("ab"), 1);
+        assert_eq!(stats.row_frequency("zz"), 0);
+    }
+
+    #[test]
+    fn column_stats_multi_size() {
+        let stats = ColumnStats::build(&["abc"], 2, 3);
+        assert_eq!(stats.row_frequency("ab"), 1);
+        assert_eq!(stats.row_frequency("abc"), 1);
+        assert_eq!(stats.row_frequency("a"), 0); // size 1 not indexed
+        assert!(stats.distinct_ngrams() >= 3);
+    }
+
+    #[test]
+    fn irf_in_column() {
+        let stats = ColumnStats::build(&["ab", "ab", "cd", "ab"], 2, 2);
+        assert!((stats.irf("ab") - 1.0 / 3.0).abs() < 1e-12);
+        assert!((stats.irf("cd") - 1.0).abs() < 1e-12);
+        assert_eq!(stats.irf("zz"), 0.0);
+    }
+
+    #[test]
+    fn rscore_is_product_and_zero_when_one_sided() {
+        let src = ColumnStats::build(&["rafiei davood", "nascimento mario"], 4, 4);
+        let tgt = ColumnStats::build(&["drafiei", "nascimento"], 4, 4);
+        // "afie" appears in 1 source row and 1 target row -> 1.0
+        assert!((rscore("afie", &src, &tgt) - 1.0).abs() < 1e-12);
+        // "мари" absent everywhere -> 0
+        assert_eq!(rscore("мари", &src, &tgt), 0.0);
+        // a gram only in the source -> 0
+        assert_eq!(rscore("davo", &src, &tgt), 0.0);
+    }
+
+    #[test]
+    fn common_suffix_scores_low() {
+        // Every email shares "@ua" - its rscore must be far below a rare gram.
+        let src = ColumnStats::build(&["rafiei, davood", "bowling, michael"], 3, 3);
+        let tgt = ColumnStats::build(&["drafiei@ua.ca", "mbowling@ua.ca"], 3, 3);
+        let shared = rscore("@ua", &src, &tgt); // absent in source -> 0 anyway
+        let rare = rscore("afi", &src, &tgt);
+        assert!(rare > shared);
+        // And within the target column alone, IRF of the shared suffix is lower.
+        assert!(tgt.irf("@ua") < tgt.irf("owl"));
+    }
+
+    #[test]
+    fn empty_column() {
+        let stats = ColumnStats::build(&Vec::<String>::new(), 2, 4);
+        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.irf("ab"), 0.0);
+        assert_eq!(stats.distinct_ngrams(), 0);
+    }
+}

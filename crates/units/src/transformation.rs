@@ -1,0 +1,460 @@
+//! Transformations: sequences of units (Definition 2) and sets of
+//! transformations (Definition 3).
+
+use crate::charstr::CharStr;
+use crate::error::UnitError;
+use crate::unit::{Unit, UnitKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transformation is a sequence of [`Unit`]s; applying it to an input
+/// concatenates the units' outputs (Definition 2 of the paper).
+///
+/// The transformation *covers* a source/target pair when its output on the
+/// source equals the target exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transformation {
+    units: Vec<Unit>,
+}
+
+impl Transformation {
+    /// Builds a transformation from a sequence of units.
+    pub fn new(units: Vec<Unit>) -> Self {
+        Self { units }
+    }
+
+    /// A transformation consisting of a single unit.
+    pub fn single(unit: Unit) -> Self {
+        Self { units: vec![unit] }
+    }
+
+    /// The units of the transformation, in application order.
+    pub fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the transformation has no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// The transformation length measured as the paper does for the
+    /// minimality criterion: the number of *non-constant* units
+    /// (placeholders) it contains.
+    pub fn placeholder_count(&self) -> usize {
+        self.units.iter().filter(|u| !u.is_constant()).count()
+    }
+
+    /// Number of literal units.
+    pub fn literal_count(&self) -> usize {
+        self.units.iter().filter(|u| u.is_constant()).count()
+    }
+
+    /// Whether every unit is a literal (such a transformation covers at most
+    /// target values identical to its concatenated literals and is usually
+    /// undesirable).
+    pub fn is_all_literal(&self) -> bool {
+        !self.units.is_empty() && self.units.iter().all(Unit::is_constant)
+    }
+
+    /// Applies the transformation to a prepared [`CharStr`], appending the
+    /// output to `out`. Returns `false` (and truncates `out` back to its
+    /// original length) when any unit fails.
+    pub fn apply_into(&self, input: &CharStr, out: &mut String) -> bool {
+        if self.units.is_empty() {
+            return false;
+        }
+        let checkpoint = out.len();
+        for unit in &self.units {
+            if !unit.apply_into(input, out) {
+                out.truncate(checkpoint);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies the transformation to a prepared [`CharStr`].
+    pub fn apply_to(&self, input: &CharStr) -> Option<String> {
+        let mut out = String::new();
+        self.apply_into(input, &mut out).then_some(out)
+    }
+
+    /// Applies the transformation to a plain `&str`.
+    pub fn apply(&self, input: &str) -> Option<String> {
+        self.apply_to(&CharStr::new(input))
+    }
+
+    /// Applies the transformation and explains the first failure.
+    pub fn try_apply(&self, input: &str) -> Result<String, UnitError> {
+        if self.units.is_empty() {
+            return Err(UnitError::EmptyTransformation);
+        }
+        let cs = CharStr::new(input);
+        let mut out = String::new();
+        for unit in &self.units {
+            out.push_str(&unit.try_apply_to(&cs)?);
+        }
+        Ok(out)
+    }
+
+    /// Whether this transformation maps `source` exactly onto `target`.
+    ///
+    /// A cheap length/unit pre-check (mirroring the engine's eager filtering)
+    /// short-circuits common failures before full application.
+    pub fn covers(&self, source: &CharStr, target: &str) -> bool {
+        // Fixed-length pre-check: the sum of fixed unit output lengths cannot
+        // exceed the target length.
+        let target_chars = target.chars().count();
+        let mut fixed = 0usize;
+        for u in &self.units {
+            if let Some(n) = u.fixed_output_char_len() {
+                fixed += n;
+                if fixed > target_chars {
+                    return false;
+                }
+            }
+        }
+        let mut out = String::with_capacity(target.len());
+        self.apply_into(source, &mut out) && out == target
+    }
+
+    /// Fraction of input pairs covered (`0.0..=1.0`); the paper's coverage.
+    pub fn coverage_fraction<'a, I>(&self, pairs: I) -> f64
+    where
+        I: IntoIterator<Item = (&'a CharStr, &'a str)>,
+    {
+        let mut total = 0usize;
+        let mut covered = 0usize;
+        for (src, tgt) in pairs {
+            total += 1;
+            if self.covers(src, tgt) {
+                covered += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            covered as f64 / total as f64
+        }
+    }
+
+    /// Kinds of the units in this transformation (for statistics).
+    pub fn unit_kinds(&self) -> Vec<UnitKind> {
+        self.units.iter().map(Unit::kind).collect()
+    }
+
+    /// Iterates over the non-constant units.
+    pub fn placeholders(&self) -> impl Iterator<Item = &Unit> {
+        self.units.iter().filter(|u| !u.is_constant())
+    }
+}
+
+impl fmt::Display for Transformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, u) in self.units.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl From<Vec<Unit>> for Transformation {
+    fn from(units: Vec<Unit>) -> Self {
+        Self::new(units)
+    }
+}
+
+impl FromIterator<Unit> for Transformation {
+    fn from_iter<T: IntoIterator<Item = Unit>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+/// A set of transformations together with the rows each covers — the output
+/// of synthesis (Definition 3: a covering transformation set).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransformationSet {
+    /// The selected transformations, ordered by decreasing marginal coverage
+    /// (the greedy set-cover selection order).
+    pub transformations: Vec<CoveredTransformation>,
+    /// Total number of input pairs the set was computed against.
+    pub total_pairs: usize,
+}
+
+/// One selected transformation plus the indices of the input pairs it covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoveredTransformation {
+    /// The transformation program.
+    pub transformation: Transformation,
+    /// Indices (into the input pair list) of rows this transformation covers.
+    pub covered_rows: Vec<u32>,
+}
+
+impl CoveredTransformation {
+    /// Number of covered rows.
+    pub fn coverage(&self) -> usize {
+        self.covered_rows.len()
+    }
+}
+
+impl TransformationSet {
+    /// Creates an empty set for `total_pairs` input pairs.
+    pub fn empty(total_pairs: usize) -> Self {
+        Self {
+            transformations: Vec::new(),
+            total_pairs,
+        }
+    }
+
+    /// Number of transformations in the set.
+    pub fn len(&self) -> usize {
+        self.transformations.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transformations.is_empty()
+    }
+
+    /// Coverage fraction of the single best transformation ("Top Cov." in
+    /// Table 2 of the paper).
+    pub fn top_coverage(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 0.0;
+        }
+        self.transformations
+            .iter()
+            .map(CoveredTransformation::coverage)
+            .max()
+            .unwrap_or(0) as f64
+            / self.total_pairs as f64
+    }
+
+    /// Coverage fraction of the whole set, counting each row once
+    /// ("Coverage" in Table 2 of the paper).
+    pub fn set_coverage(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 0.0;
+        }
+        let mut covered: Vec<bool> = vec![false; self.total_pairs];
+        for t in &self.transformations {
+            for &r in &t.covered_rows {
+                if let Some(slot) = covered.get_mut(r as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        covered.iter().filter(|c| **c).count() as f64 / self.total_pairs as f64
+    }
+
+    /// The transformation with maximum coverage, if any.
+    pub fn best(&self) -> Option<&CoveredTransformation> {
+        self.transformations
+            .iter()
+            .max_by_key(|t| t.coverage())
+    }
+
+    /// Drops transformations whose coverage fraction is below
+    /// `min_support` (the paper applies a support threshold of 1–5 % on noisy
+    /// data to discard bogus transformations produced by false row matches).
+    pub fn filter_by_support(&self, min_support: f64) -> Self {
+        let min_rows = (min_support * self.total_pairs as f64).ceil() as usize;
+        Self {
+            transformations: self
+                .transformations
+                .iter()
+                .filter(|t| t.coverage() >= min_rows.max(1))
+                .cloned()
+                .collect(),
+            total_pairs: self.total_pairs,
+        }
+    }
+
+    /// Plain iteration over the transformations.
+    pub fn iter(&self) -> impl Iterator<Item = &CoveredTransformation> {
+        self.transformations.iter()
+    }
+}
+
+impl fmt::Display for TransformationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TransformationSet: {} transformations over {} pairs (top {:.2}, set {:.2})",
+            self.len(),
+            self.total_pairs,
+            self.top_coverage(),
+            self.set_coverage()
+        )?;
+        for t in &self.transformations {
+            writeln!(f, "  [{} rows] {}", t.coverage(), t.transformation)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name_to_initial_last() -> Transformation {
+        // "gosgnach, simon" -> "s gosgnach"
+        Transformation::new(vec![
+            Unit::split_substr(' ', 1, 0, 1),
+            Unit::literal(" "),
+            Unit::split(',', 0),
+        ])
+    }
+
+    #[test]
+    fn paper_example_transformation() {
+        let t = name_to_initial_last();
+        assert_eq!(t.apply("gosgnach, simon").as_deref(), Some("s gosgnach"));
+        assert_eq!(t.apply("bowling, michael").as_deref(), Some("m bowling"));
+        assert_eq!(
+            t.apply("prus-czarnecki, andrzej").as_deref(),
+            Some("a prus-czarnecki")
+        );
+    }
+
+    #[test]
+    fn apply_fails_when_any_unit_fails() {
+        let t = name_to_initial_last();
+        // No space after the comma and no second word: SplitSubstr piece 1 missing.
+        assert_eq!(t.apply("gosgnach"), None);
+    }
+
+    #[test]
+    fn apply_into_truncates_on_failure() {
+        let t = name_to_initial_last();
+        let mut out = String::from("prefix");
+        assert!(!t.apply_into(&CharStr::new("gosgnach"), &mut out));
+        assert_eq!(out, "prefix");
+    }
+
+    #[test]
+    fn empty_transformation_never_applies() {
+        let t = Transformation::new(vec![]);
+        assert_eq!(t.apply("abc"), None);
+        assert!(t.is_empty());
+        assert_eq!(t.try_apply("abc"), Err(UnitError::EmptyTransformation));
+    }
+
+    #[test]
+    fn covers_and_coverage_fraction() {
+        let t = name_to_initial_last();
+        let rows = [
+            ("gosgnach, simon", "s gosgnach"),
+            ("bowling, michael", "m bowling"),
+            ("rafiei, davood", "davood rafiei"), // formatted differently: not covered
+        ];
+        let sources: Vec<CharStr> = rows.iter().map(|(s, _)| CharStr::new(*s)).collect();
+        let pairs: Vec<(&CharStr, &str)> = sources
+            .iter()
+            .zip(rows.iter().map(|(_, t)| *t))
+            .collect();
+        assert!(t.covers(&sources[0], rows[0].1));
+        assert!(!t.covers(&sources[2], rows[2].1));
+        let frac = t.coverage_fraction(pairs.iter().copied());
+        assert!((frac - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_fraction_empty_input() {
+        let t = name_to_initial_last();
+        assert_eq!(t.coverage_fraction(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn placeholder_and_literal_counts() {
+        let t = name_to_initial_last();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.placeholder_count(), 2);
+        assert_eq!(t.literal_count(), 1);
+        assert!(!t.is_all_literal());
+        let all_lit = Transformation::new(vec![Unit::literal("a"), Unit::literal("b")]);
+        assert!(all_lit.is_all_literal());
+        assert_eq!(all_lit.apply("whatever").as_deref(), Some("ab"));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = name_to_initial_last();
+        assert_eq!(
+            t.to_string(),
+            "<SplitSubstr(' ',1,0,1), Literal(\" \"), Split(',',0)>"
+        );
+    }
+
+    #[test]
+    fn from_iterator_and_vec() {
+        let t: Transformation = vec![Unit::literal("x")].into();
+        assert_eq!(t.len(), 1);
+        let t: Transformation = std::iter::once(Unit::literal("y")).collect();
+        assert_eq!(t.apply("z").as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn set_coverage_accounting() {
+        let t1 = CoveredTransformation {
+            transformation: Transformation::single(Unit::substr(0, 1)),
+            covered_rows: vec![0, 1, 2],
+        };
+        let t2 = CoveredTransformation {
+            transformation: Transformation::single(Unit::substr(0, 2)),
+            covered_rows: vec![2, 3],
+        };
+        let set = TransformationSet {
+            transformations: vec![t1, t2],
+            total_pairs: 5,
+        };
+        assert_eq!(set.len(), 2);
+        assert!((set.top_coverage() - 0.6).abs() < 1e-9);
+        assert!((set.set_coverage() - 0.8).abs() < 1e-9);
+        assert_eq!(set.best().unwrap().coverage(), 3);
+    }
+
+    #[test]
+    fn support_filter() {
+        let mk = |rows: Vec<u32>| CoveredTransformation {
+            transformation: Transformation::single(Unit::substr(0, 1)),
+            covered_rows: rows,
+        };
+        let set = TransformationSet {
+            transformations: vec![mk(vec![0, 1, 2, 3]), mk(vec![4])],
+            total_pairs: 100,
+        };
+        // 2% support over 100 pairs = at least 2 rows.
+        let filtered = set.filter_by_support(0.02);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered.transformations[0].coverage(), 4);
+        // zero support keeps everything with >=1 row
+        assert_eq!(set.filter_by_support(0.0).len(), 2);
+    }
+
+    #[test]
+    fn empty_set_statistics() {
+        let set = TransformationSet::empty(0);
+        assert_eq!(set.top_coverage(), 0.0);
+        assert_eq!(set.set_coverage(), 0.0);
+        assert!(set.best().is_none());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn display_of_set_mentions_counts() {
+        let set = TransformationSet::empty(3);
+        let s = set.to_string();
+        assert!(s.contains("0 transformations over 3 pairs"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the transformation-unit language.
+//!
+//! These check structural invariants promised by the crate documentation:
+//! units only ever *copy* text (non-literal outputs are substrings of the
+//! input), application is deterministic, `CharStr` slicing agrees with a
+//! naive char-vector implementation, and Lemma 1's subsumption argument holds
+//! on randomly generated inputs.
+
+use proptest::prelude::*;
+use tjoin_units::{CharStr, Transformation, Unit};
+
+/// Strategy for short, mostly-ASCII strings with realistic delimiters.
+fn input_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9,;.@ _-]{0,40}").unwrap()
+}
+
+fn any_unit(max_pos: usize) -> impl Strategy<Value = Unit> {
+    let pos = 0..=max_pos;
+    let delim = prop_oneof![
+        Just(','),
+        Just(';'),
+        Just(' '),
+        Just('-'),
+        Just('.'),
+        Just('@')
+    ];
+    prop_oneof![
+        (pos.clone(), pos.clone()).prop_map(|(a, b)| Unit::substr(a.min(b), a.max(b))),
+        (delim.clone(), 0usize..5).prop_map(|(d, i)| Unit::split(d, i)),
+        (delim.clone(), 0usize..5, pos.clone(), pos.clone())
+            .prop_map(|(d, i, a, b)| Unit::split_substr(d, i, a.min(b), a.max(b))),
+        (delim.clone(), delim.clone(), 0usize..5, pos.clone(), pos.clone())
+            .prop_map(|(d1, d2, i, a, b)| Unit::two_char_split_substr(d1, d2, i, a.min(b), a.max(b))),
+        "[a-z@. ]{0,6}".prop_map(Unit::literal),
+    ]
+}
+
+proptest! {
+    /// Non-literal unit outputs are always contiguous substrings of the input.
+    #[test]
+    fn non_literal_output_is_substring_of_input(s in input_string(), u in any_unit(40)) {
+        if let Some(out) = u.apply(&s) {
+            if !u.is_constant() {
+                prop_assert!(s.contains(&out), "output {:?} not a substring of {:?} for {}", out, s, u);
+            }
+        }
+    }
+
+    /// Application is deterministic.
+    #[test]
+    fn application_is_deterministic(s in input_string(), u in any_unit(40)) {
+        prop_assert_eq!(u.apply(&s), u.apply(&s));
+    }
+
+    /// `CharStr::slice` agrees with a naive `Vec<char>` implementation.
+    #[test]
+    fn charstr_slice_agrees_with_naive(s in "\\PC{0,30}", a in 0usize..35, b in 0usize..35) {
+        let cs = CharStr::new(s.clone());
+        let chars: Vec<char> = s.chars().collect();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let expected = if hi <= chars.len() {
+            Some(chars[lo..hi].iter().collect::<String>())
+        } else {
+            None
+        };
+        prop_assert_eq!(cs.slice(lo, hi).map(str::to_owned), expected);
+    }
+
+    /// `CharStr::find_all` finds exactly the positions where the needle occurs.
+    #[test]
+    fn find_all_positions_are_correct(s in "[ab]{0,20}", n in "[ab]{1,3}") {
+        let cs = CharStr::new(s.clone());
+        let chars: Vec<char> = s.chars().collect();
+        let needle: Vec<char> = n.chars().collect();
+        let mut expected = Vec::new();
+        if needle.len() <= chars.len() {
+            for i in 0..=(chars.len() - needle.len()) {
+                if chars[i..i + needle.len()] == needle[..] {
+                    expected.push(i);
+                }
+            }
+        }
+        prop_assert_eq!(cs.find_all(&n), expected);
+    }
+
+    /// A transformation's output is the concatenation of its units' outputs.
+    #[test]
+    fn transformation_is_concatenation(s in input_string(), us in prop::collection::vec(any_unit(40), 1..4)) {
+        let t = Transformation::new(us.clone());
+        let piecewise: Option<String> = us
+            .iter()
+            .map(|u| u.apply(&s))
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.concat());
+        prop_assert_eq!(t.apply(&s), piecewise);
+    }
+
+    /// `covers` agrees with applying and comparing.
+    #[test]
+    fn covers_agrees_with_apply(s in input_string(), us in prop::collection::vec(any_unit(40), 1..4)) {
+        let t = Transformation::new(us);
+        let cs = CharStr::new(s.clone());
+        let out = t.apply(&s);
+        if let Some(o) = out {
+            prop_assert!(t.covers(&cs, &o));
+        }
+        prop_assert!(!t.covers(&cs, "\x01definitely-not-an-output\x01"));
+    }
+
+    /// Lemma 1 (spot-check): every SplitSplitSubstr output on a random input is
+    /// reproducible by some unit from {Substr, SplitSubstr, TwoCharSplitSubstr}.
+    #[test]
+    fn lemma1_splitsplitsubstr_is_subsumed(
+        s in "[a-c,;]{1,20}",
+        i1 in 0usize..3,
+        i2 in 0usize..3,
+        a in 0usize..6,
+        b in 0usize..6,
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let u = Unit::split_split_substr(',', i1, ';', i2, lo, hi);
+        if let Some(expected) = u.apply(&s) {
+            let cs = CharStr::new(s.clone());
+            let len = cs.char_len();
+            let mut found = false;
+            'outer: for st in 0..=len {
+                for en in st..=len {
+                    if Unit::substr(st, en).apply(&s).as_deref() == Some(expected.as_str()) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !found {
+                // Try split-based reproductions with either delimiter and both orders.
+                'outer2: for d in [',', ';'] {
+                    for idx in 0..=len {
+                        for st in 0..=len {
+                            for en in st..=len {
+                                if Unit::split_substr(d, idx, st, en).apply(&s).as_deref()
+                                    == Some(expected.as_str())
+                                {
+                                    found = true;
+                                    break 'outer2;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !found {
+                'outer3: for idx in 0..=len {
+                    for st in 0..=len {
+                        for en in st..=len {
+                            if Unit::two_char_split_substr(',', ';', idx, st, en)
+                                .apply(&s)
+                                .as_deref()
+                                == Some(expected.as_str())
+                            {
+                                found = true;
+                                break 'outer3;
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert!(found, "output {:?} of {} on {:?} not reproducible", expected, u, s);
+        }
+    }
+}

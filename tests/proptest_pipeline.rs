@@ -1,0 +1,106 @@
+//! Property-based integration tests over the synthesis engine and the join
+//! pipeline: invariants that must hold for *any* input, not only the curated
+//! examples.
+
+use proptest::prelude::*;
+use tabjoin::prelude::*;
+
+/// Strategy for small sets of (source, target) pairs where the target is
+/// derived from the source by one of a few format rules, optionally with a
+/// noise row appended.
+fn formatted_rows() -> impl Strategy<Value = Vec<(String, String)>> {
+    let word = || proptest::string::string_regex("[a-z]{3,8}").unwrap();
+    let row = (word(), word(), 0u8..3).prop_map(|(a, b, rule)| {
+        let source = format!("{b}, {a}");
+        let target = match rule {
+            0 => format!("{} {b}", &a[..1]),
+            1 => format!("{a}.{b}@x.ca"),
+            _ => b.to_string(),
+        };
+        (source, target)
+    });
+    prop::collection::vec(row, 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every row the engine reports as covered by a transformation really is
+    /// covered (re-applying the transformation reproduces the target), and
+    /// coverage statistics are internally consistent.
+    #[test]
+    fn reported_coverage_is_sound(rows in formatted_rows()) {
+        let engine = SynthesisEngine::new(SynthesisConfig::default());
+        let result = engine.discover_from_strings(&rows);
+        let normalized: Vec<(String, String)> = rows
+            .iter()
+            .map(|(s, t)| (s.to_lowercase(), t.to_lowercase()))
+            .collect();
+        for covered in result.cover.iter() {
+            for &row in &covered.covered_rows {
+                let (src, tgt) = &normalized[row as usize];
+                let output = covered.transformation.apply(src);
+                prop_assert_eq!(
+                    output.as_deref(),
+                    Some(tgt.as_str()),
+                    "transformation {} does not cover row {}",
+                    covered.transformation,
+                    row
+                );
+            }
+        }
+        prop_assert!(result.set_coverage() >= result.top_coverage() - 1e-9);
+        prop_assert!(result.top_coverage() >= 0.0 && result.set_coverage() <= 1.0);
+        let s = &result.stats;
+        prop_assert!(s.generated_transformations >= s.transformations_to_try);
+        prop_assert!(s.coverage_trials + s.cache_hits <= s.potential_trials);
+    }
+
+    /// Pruning (duplicate removal + unit cache) never changes coverage.
+    #[test]
+    fn pruning_is_lossless(rows in formatted_rows()) {
+        let pruned = SynthesisEngine::new(SynthesisConfig::default())
+            .discover_from_strings(&rows);
+        let unpruned = SynthesisEngine::new(SynthesisConfig::default().without_pruning())
+            .discover_from_strings(&rows);
+        prop_assert!((pruned.set_coverage() - unpruned.set_coverage()).abs() < 1e-9);
+        prop_assert!((pruned.top_coverage() - unpruned.top_coverage()).abs() < 1e-9);
+    }
+
+    /// Join metrics are proper: bounded by [0, 1], and perfect exactly when
+    /// predicted pairs equal golden pairs.
+    #[test]
+    fn join_metrics_are_bounded(rows in formatted_rows()) {
+        let pair = ColumnPair::aligned(
+            "prop",
+            rows.iter().map(|(s, _)| s.clone()).collect(),
+            rows.iter().map(|(_, t)| t.clone()).collect(),
+        );
+        let pipeline = JoinPipeline::new(JoinPipelineConfig {
+            matching: RowMatchingStrategy::Golden,
+            join_min_support: 0.0,
+            ..JoinPipelineConfig::paper_default()
+        });
+        let outcome = pipeline.run(&pair);
+        let m = outcome.metrics;
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!(m.true_positives <= m.predicted && m.true_positives <= m.golden);
+    }
+
+    /// The greedy covering set never contains a transformation whose covered
+    /// rows are all covered by the transformations selected before it
+    /// (no useless selections).
+    #[test]
+    fn cover_has_no_useless_members(rows in formatted_rows()) {
+        let result = SynthesisEngine::new(SynthesisConfig::default())
+            .discover_from_strings(&rows);
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for t in result.cover.iter() {
+            let adds_new = t.covered_rows.iter().any(|r| !seen.contains(r));
+            prop_assert!(adds_new, "useless member {}", t.transformation);
+            seen.extend(t.covered_rows.iter().copied());
+        }
+    }
+}
