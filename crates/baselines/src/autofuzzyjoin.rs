@@ -130,7 +130,7 @@ impl AutoFuzzyJoin {
             .iter()
             .map(|s| {
                 let grams = tjoin_text::char_ngrams(s, self.config.index_ngram_size);
-                index.rows_containing_any(grams.into_iter())
+                index.rows_containing_any(grams)
             })
             .collect();
 

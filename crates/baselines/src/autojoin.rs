@@ -107,7 +107,7 @@ impl AutoJoinResult {
             .zip(coverage.covered_rows)
             .map(|(t, rows)| CoveredTransformation {
                 transformation: t.clone(),
-                covered_rows: rows,
+                covered_rows: rows.to_vec(),
             })
             .collect();
         TransformationSet {
@@ -294,7 +294,7 @@ fn ranked_candidates(rows: &[(&CharStr, &str)], state: &mut SearchState) -> Vec<
     alphabet.sort_unstable();
 
     let mut scored: Vec<(f64, Unit)> = Vec::new();
-    let mut consider = |unit: Unit, state: &mut SearchState, scored: &mut Vec<(f64, Unit)>| {
+    let consider = |unit: Unit, state: &mut SearchState, scored: &mut Vec<(f64, Unit)>| {
         state.units_enumerated += 1;
         let mut total_len = 0usize;
         for (src, tgt) in rows {

@@ -70,7 +70,7 @@ impl NaiveSynthesis {
             alphabet.extend(s.chars());
         }
         let mut units = Vec::new();
-        let mut push = |u: Unit, units: &mut Vec<Unit>| {
+        let push = |u: Unit, units: &mut Vec<Unit>| {
             if units.len() < self.config.max_single_units {
                 units.push(u);
             }

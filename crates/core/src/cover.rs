@@ -5,7 +5,13 @@
 //! problem (NP-complete); the greedy algorithm used here repeatedly selects
 //! the transformation covering the most not-yet-covered rows and has the
 //! standard `H(n) ≤ ln(n) + 1` approximation guarantee the paper cites.
+//!
+//! Coverage is carried as [`RowBitmap`]s end to end: marginal gain is a
+//! word-wise AND-NOT + popcount instead of a sorted-`Vec<u32>` difference,
+//! and [`greedy_cover`] consumes its candidates by value, so selected
+//! transformations are moved — not cloned — into the result set.
 
+use crate::bitmap::RowBitmap;
 use tjoin_units::{CoveredTransformation, Transformation, TransformationSet};
 
 /// A transformation together with the rows it covers (the coverage phase's
@@ -14,13 +20,20 @@ use tjoin_units::{CoveredTransformation, Transformation, TransformationSet};
 pub struct ScoredTransformation {
     /// The transformation.
     pub transformation: Transformation,
-    /// Indices of the rows it covers.
-    pub covered_rows: Vec<u32>,
+    /// The rows it covers.
+    pub covered: RowBitmap,
 }
 
 impl ScoredTransformation {
     fn coverage(&self) -> usize {
-        self.covered_rows.len()
+        self.covered.count_ones()
+    }
+
+    fn to_covered(&self) -> CoveredTransformation {
+        CoveredTransformation {
+            transformation: self.transformation.clone(),
+            covered_rows: self.covered.to_vec(),
+        }
     }
 }
 
@@ -36,9 +49,10 @@ pub fn filter_candidates(
     let min_rows = ((min_support * total_rows as f64).ceil() as usize).max(1);
     candidates
         .into_iter()
-        .filter(|c| !c.covered_rows.is_empty())
-        .filter(|c| c.coverage() >= min_rows)
-        .filter(|c| !(c.transformation.is_all_literal() && c.coverage() <= 1))
+        .filter(|c| {
+            let coverage = c.coverage();
+            coverage >= min_rows && !(c.transformation.is_all_literal() && coverage <= 1)
+        })
         .collect()
 }
 
@@ -59,10 +73,7 @@ pub fn top_k(candidates: &[ScoredTransformation], k: usize) -> Vec<CoveredTransf
     sorted
         .into_iter()
         .take(k)
-        .map(|c| CoveredTransformation {
-            transformation: c.transformation.clone(),
-            covered_rows: c.covered_rows.clone(),
-        })
+        .map(ScoredTransformation::to_covered)
         .collect()
 }
 
@@ -72,30 +83,27 @@ pub fn top_k(candidates: &[ScoredTransformation], k: usize) -> Vec<CoveredTransf
 /// Ties are broken toward shorter transformations (fewer units — the paper's
 /// second quality measure) and then lexicographically for determinism. The
 /// returned set lists each selected transformation with *all* rows it covers
-/// (not only the marginal ones), ordered by selection.
+/// (not only the marginal ones), ordered by selection. Candidates are
+/// consumed: the winners' transformations move into the result set.
 pub fn greedy_cover(
-    candidates: &[ScoredTransformation],
+    candidates: Vec<ScoredTransformation>,
     total_rows: usize,
 ) -> TransformationSet {
-    let mut covered = vec![false; total_rows];
+    let mut covered = RowBitmap::new(total_rows);
     let mut selected: Vec<CoveredTransformation> = Vec::new();
-    let mut remaining: Vec<&ScoredTransformation> = candidates.iter().collect();
+    let mut remaining = candidates;
 
     loop {
         let mut best: Option<(usize, usize)> = None; // (marginal gain, index)
         for (idx, cand) in remaining.iter().enumerate() {
-            let gain = cand
-                .covered_rows
-                .iter()
-                .filter(|&&r| !covered[r as usize])
-                .count();
+            let gain = cand.covered.and_not_count(&covered);
             if gain == 0 {
                 continue;
             }
             let better = match best {
                 None => true,
                 Some((best_gain, best_idx)) => {
-                    let current_best = remaining[best_idx];
+                    let current_best = &remaining[best_idx];
                     gain > best_gain
                         || (gain == best_gain
                             && (cand.transformation.len() < current_best.transformation.len()
@@ -111,14 +119,13 @@ pub fn greedy_cover(
         }
         let Some((_, idx)) = best else { break };
         let chosen = remaining.remove(idx);
-        for &r in &chosen.covered_rows {
-            covered[r as usize] = true;
-        }
+        covered.union_with(&chosen.covered);
+        let done = covered.is_full();
         selected.push(CoveredTransformation {
-            transformation: chosen.transformation.clone(),
-            covered_rows: chosen.covered_rows.clone(),
+            covered_rows: chosen.covered.to_vec(),
+            transformation: chosen.transformation,
         });
-        if covered.iter().all(|&c| c) {
+        if done {
             break;
         }
     }
@@ -137,7 +144,14 @@ mod tests {
     fn scored(units: Vec<Unit>, rows: Vec<u32>) -> ScoredTransformation {
         ScoredTransformation {
             transformation: Transformation::new(units),
-            covered_rows: rows,
+            covered: RowBitmap::from_rows(64, &rows),
+        }
+    }
+
+    fn scored_sized(units: Vec<Unit>, total: usize, rows: Vec<u32>) -> ScoredTransformation {
+        ScoredTransformation {
+            transformation: Transformation::new(units),
+            covered: RowBitmap::from_rows(total, &rows),
         }
     }
 
@@ -147,10 +161,10 @@ mod tests {
         // is {t0, t1} (t1 beats t2 on marginal gain after t0 is chosen —
         // both add row 3, but t1 also re-covers row 2; equal marginal gain of
         // 1, so the shorter/lexicographic rule applies).
-        let t0 = scored(vec![Unit::substr(0, 1)], vec![0, 1, 2]);
-        let t1 = scored(vec![Unit::substr(0, 2)], vec![2, 3]);
-        let t2 = scored(vec![Unit::substr(0, 3), Unit::literal("x")], vec![3]);
-        let cover = greedy_cover(&[t0, t1, t2], 4);
+        let t0 = scored_sized(vec![Unit::substr(0, 1)], 4, vec![0, 1, 2]);
+        let t1 = scored_sized(vec![Unit::substr(0, 2)], 4, vec![2, 3]);
+        let t2 = scored_sized(vec![Unit::substr(0, 3), Unit::literal("x")], 4, vec![3]);
+        let cover = greedy_cover(vec![t0, t1, t2], 4);
         assert_eq!(cover.len(), 2);
         assert_eq!(cover.transformations[0].covered_rows, vec![0, 1, 2]);
         assert!((cover.set_coverage() - 1.0).abs() < 1e-12);
@@ -158,16 +172,16 @@ mod tests {
 
     #[test]
     fn greedy_stops_when_no_gain() {
-        let t0 = scored(vec![Unit::substr(0, 1)], vec![0]);
-        let t1 = scored(vec![Unit::substr(1, 2)], vec![0]); // redundant
-        let cover = greedy_cover(&[t0, t1], 3);
+        let t0 = scored_sized(vec![Unit::substr(0, 1)], 3, vec![0]);
+        let t1 = scored_sized(vec![Unit::substr(1, 2)], 3, vec![0]); // redundant
+        let cover = greedy_cover(vec![t0, t1], 3);
         assert_eq!(cover.len(), 1);
         assert!((cover.set_coverage() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn greedy_empty_candidates() {
-        let cover = greedy_cover(&[], 5);
+        let cover = greedy_cover(vec![], 5);
         assert!(cover.is_empty());
         assert_eq!(cover.total_pairs, 5);
         assert_eq!(cover.set_coverage(), 0.0);
@@ -175,9 +189,9 @@ mod tests {
 
     #[test]
     fn greedy_prefers_shorter_transformation_on_ties() {
-        let long = scored(vec![Unit::substr(0, 1), Unit::literal("a")], vec![0, 1]);
-        let short = scored(vec![Unit::substr(0, 2)], vec![0, 1]);
-        let cover = greedy_cover(&[long, short], 2);
+        let long = scored_sized(vec![Unit::substr(0, 1), Unit::literal("a")], 2, vec![0, 1]);
+        let short = scored_sized(vec![Unit::substr(0, 2)], 2, vec![0, 1]);
+        let cover = greedy_cover(vec![long, short], 2);
         assert_eq!(cover.len(), 1);
         assert_eq!(cover.transformations[0].transformation.len(), 1);
     }
@@ -202,16 +216,16 @@ mod tests {
 
     #[test]
     fn filter_by_support_and_literal_rule() {
-        let lit_single = scored(vec![Unit::literal("abc")], vec![0]);
-        let lit_double = scored(vec![Unit::literal("abc")], vec![0, 1]);
-        let real = scored(vec![Unit::substr(0, 1)], vec![0]);
-        let empty = scored(vec![Unit::substr(5, 9)], vec![]);
+        let lit_single = scored_sized(vec![Unit::literal("abc")], 10, vec![0]);
+        let lit_double = scored_sized(vec![Unit::literal("abc")], 10, vec![0, 1]);
+        let real = scored_sized(vec![Unit::substr(0, 1)], 10, vec![0]);
+        let empty = scored_sized(vec![Unit::substr(5, 9)], 10, vec![]);
         let kept = filter_candidates(vec![lit_single, lit_double, real, empty], 10, 0.0);
         // The single-row all-literal and the empty-coverage candidates drop out.
         assert_eq!(kept.len(), 2);
         // A 20% support threshold over 10 rows requires 2 covered rows.
         let kept = filter_candidates(kept, 10, 0.2);
         assert_eq!(kept.len(), 1);
-        assert_eq!(kept[0].covered_rows, vec![0, 1]);
+        assert_eq!(kept[0].covered.to_vec(), vec![0, 1]);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::config::SynthesisConfig;
 use crate::cover::{filter_candidates, greedy_cover, top_k, ScoredTransformation};
-use crate::coverage::compute_coverage;
+use crate::coverage::compute_coverage_interned;
 use crate::generate::generate_transformations;
 use crate::pair::PairSet;
 use crate::sampling::sample_indices;
@@ -88,28 +88,33 @@ impl SynthesisEngine {
         // duplicate removal.
         let generation = generate_transformations(working, &self.config);
 
-        // Phase 4: coverage with eager filtering.
-        let coverage = compute_coverage(
+        // Phase 4: coverage with eager filtering, on the interned candidates
+        // (no re-interning, no unit cloning).
+        let coverage = compute_coverage_interned(
+            &generation.pool,
             &generation.transformations,
             working,
             self.config.unit_cache,
             self.config.threads,
         );
 
-        // Phase 5: selection.
+        // Phase 5: selection. Coverage bitmaps are moved into the scoring
+        // stage; only candidates that covered at least one row are
+        // materialized back into owned transformations.
         let select_start = Instant::now();
         let scored: Vec<ScoredTransformation> = generation
             .transformations
             .iter()
-            .zip(coverage.covered_rows.iter())
-            .map(|(t, rows)| ScoredTransformation {
-                transformation: t.clone(),
-                covered_rows: rows.clone(),
+            .zip(coverage.covered_rows)
+            .filter(|(_, covered)| !covered.is_empty())
+            .map(|(t, covered)| ScoredTransformation {
+                transformation: generation.pool.resolve(t),
+                covered,
             })
             .collect();
         let candidates = filter_candidates(scored, working.len(), self.config.min_support);
         let top = top_k(&candidates, self.config.top_k);
-        let cover = greedy_cover(&candidates, working.len());
+        let cover = greedy_cover(candidates, working.len());
         let cover_selection = select_start.elapsed();
 
         let stats = SynthesisStats {
@@ -278,6 +283,41 @@ mod tests {
         );
         assert!(s.coverage_trials + s.cache_hits <= s.potential_trials);
         assert!(s.total_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_identical_to_reference_coverage() {
+        // The move-based selection and interned coverage must leave
+        // `SynthesisStats` exactly as the naive clone-based pipeline would
+        // have reported it: re-run generation + the retained reference
+        // coverage loop and compare every pruning statistic.
+        use crate::coverage::reference::compute_coverage_reference;
+        use crate::generate::generate_transformations;
+        use crate::pair::PairSet;
+
+        let rows = vec![
+            ("Rafiei, Davood", "D Rafiei"),
+            ("Bowling, Michael", "M Bowling"),
+            ("Gosgnach, Simon", "S Gosgnach"),
+            ("Smith, Sarah", "totally unrelated text 123"),
+        ];
+        for threads in [1usize, 4] {
+            let config = SynthesisConfig::default().with_threads(threads);
+            let result = SynthesisEngine::new(config.clone()).discover_from_strings(&rows);
+
+            let pairs = PairSet::from_strings(&rows, &config.normalize);
+            let generation = generate_transformations(&pairs, &config);
+            let resolved: Vec<_> = generation.resolved().collect();
+            let reference =
+                compute_coverage_reference(&resolved, &pairs, config.unit_cache, threads);
+
+            let s = &result.stats;
+            assert_eq!(s.generated_transformations, generation.generated);
+            assert_eq!(s.transformations_to_try, generation.unique);
+            assert_eq!(s.coverage_trials, reference.trials, "threads={threads}");
+            assert_eq!(s.cache_hits, reference.cache_hits, "threads={threads}");
+            assert_eq!(s.potential_trials, reference.potential_trials);
+        }
     }
 
     #[test]

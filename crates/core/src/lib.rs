@@ -29,6 +29,38 @@
 //! Table 4 and Figures 3–4, and supports sampling (Section 5.3) and support
 //! thresholds for noisy inputs.
 //!
+//! ## The interned coverage core
+//!
+//! The dominant cost of synthesis is the coverage phase — Section 4.1.5's
+//! pruning strategies exist precisely because applying every candidate to
+//! every row is quadratic in practice. This crate implements those
+//! strategies over an *interned* representation rather than owned values:
+//!
+//! * **Unit pool** ([`tjoin_units::UnitPool`]): generation interns every
+//!   distinct unit once and emits candidates as
+//!   [`tjoin_units::IdTransformation`]s — dense `u32` id vectors. The
+//!   paper's duplicate removal (strategy 1) then hashes id vectors instead
+//!   of unit vectors with embedded strings.
+//! * **Per-row output memoization** ([`coverage`]): candidates are Cartesian
+//!   products over a small unit pool, so the same unit appears in hundreds
+//!   of transformations. The engine evaluates `Unit::output_on` at most
+//!   once per `(row, unit)` pair, memoizing the output *and* the
+//!   is-substring-of-target verdict in a dense table indexed by
+//!   [`tjoin_units::UnitId`].
+//! * **Bitset non-covering cache**: the paper's per-row cache of units known
+//!   not to help a row (strategy 2, the 50–99 % hit ratios of Table 4) is a
+//!   dense epoch-stamped array indexed by `UnitId` — O(1), no hashing, no
+//!   unit clones.
+//! * **Bitmap coverage** ([`bitmap::RowBitmap`]): covered rows flow into
+//!   selection ([`cover`]) as fixed-size bitmaps, turning the greedy set
+//!   cover's marginal-gain computation into word-wise AND-NOT + popcount,
+//!   and results are moved (not cloned) from coverage into selection.
+//!
+//! All observable results — covered rows, trial counts, cache-hit
+//! accounting — are bit-identical to the naive per-row trial loop, which is
+//! retained in [`coverage::reference`] as a differential-testing oracle and
+//! benchmark baseline.
+//!
 //! ```
 //! use tjoin_core::{SynthesisConfig, SynthesisEngine};
 //!
@@ -47,6 +79,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bitmap;
 pub mod config;
 pub mod cover;
 pub mod coverage;
@@ -59,6 +92,7 @@ pub mod skeleton;
 pub mod stats;
 pub mod unitgen;
 
+pub use bitmap::RowBitmap;
 pub use config::SynthesisConfig;
 pub use engine::{SynthesisEngine, SynthesisResult};
 pub use pair::{InputPair, PairSet};

@@ -345,8 +345,10 @@ mod tests {
 
     #[test]
     fn resplit_skeleton_respects_placeholder_bound() {
-        let mut config = SynthesisConfig::default();
-        config.max_placeholders = 2;
+        let config = SynthesisConfig {
+            max_placeholders: 2,
+            ..SynthesisConfig::default()
+        };
         let skels = skeletons_for("Victor Robbie Kasumba", "Victor R. Kasumba", &config);
         for s in &skels {
             assert!(s.placeholder_count() <= 2);
@@ -371,8 +373,10 @@ mod tests {
 
     #[test]
     fn skeleton_cap_respected() {
-        let mut config = SynthesisConfig::default();
-        config.max_skeletons_per_row = 3;
+        let config = SynthesisConfig {
+            max_skeletons_per_row: 3,
+            ..SynthesisConfig::default()
+        };
         // A highly repetitive pair that would otherwise produce many skeletons.
         let skels = skeletons_for("ababababab", "ababab", &config);
         assert!(skels.len() <= 4); // cap + the all-literal fallback

@@ -10,36 +10,56 @@
 use crate::config::SynthesisConfig;
 use crate::placeholder::Placeholder;
 use tjoin_text::FxHashSet;
-use tjoin_units::{CharStr, Unit, UnitKind};
+use tjoin_units::{CharStr, Unit, UnitId, UnitKind, UnitPool};
 
-/// Candidate units that replace `placeholder`, i.e. that produce exactly the
-/// placeholder text when applied to `source`.
+/// Candidate units that replace `placeholder`, resolved to owned values.
 ///
-/// The unit kinds considered are controlled by the configuration; a
-/// `Literal` of the placeholder text is always included (Section 4.1.4,
-/// point 5: "each placeholder may also be replaced with a literal ... useful
-/// in cases where a constant in the target text occurs in the source by
-/// chance"). The list is deduplicated and capped at
-/// `config.max_units_per_placeholder`.
+/// Compatibility wrapper over [`candidate_unit_ids`] (the generation phase
+/// works on interned ids); mainly useful in tests and baselines.
 pub fn candidate_units(
     placeholder: &Placeholder,
     source: &CharStr,
     config: &SynthesisConfig,
 ) -> Vec<Unit> {
+    let mut pool = UnitPool::new();
+    candidate_unit_ids(placeholder, source, config, &mut pool)
+        .into_iter()
+        .map(|id| pool.get(id).clone())
+        .collect()
+}
+
+/// Candidate units that replace `placeholder`, i.e. that produce exactly the
+/// placeholder text when applied to `source`, interned into `pool`.
+///
+/// The unit kinds considered are controlled by the configuration; a
+/// `Literal` of the placeholder text is always included (Section 4.1.4,
+/// point 5: "each placeholder may also be replaced with a literal ... useful
+/// in cases where a constant in the target text occurs in the source by
+/// chance"). The list is deduplicated (by interned id — no unit cloning or
+/// re-hashing) and capped at `config.max_units_per_placeholder`.
+pub fn candidate_unit_ids(
+    placeholder: &Placeholder,
+    source: &CharStr,
+    config: &SynthesisConfig,
+    pool: &mut UnitPool,
+) -> Vec<UnitId> {
     let text = placeholder.text.as_str();
     let len = placeholder.char_len();
-    let mut seen: FxHashSet<Unit> = FxHashSet::default();
-    let mut out: Vec<Unit> = Vec::new();
-    let mut push = |u: Unit, out: &mut Vec<Unit>| {
-        if out.len() < config.max_units_per_placeholder && seen.insert(u.clone()) {
-            out.push(u);
+    let mut seen: FxHashSet<UnitId> = FxHashSet::default();
+    let mut out: Vec<UnitId> = Vec::new();
+    let mut push = |u: Unit, pool: &mut UnitPool, out: &mut Vec<UnitId>| {
+        if out.len() < config.max_units_per_placeholder {
+            let id = pool.intern(u);
+            if seen.insert(id) {
+                out.push(id);
+            }
         }
     };
 
     // (1) Substr(s, e) for each source occurrence.
     if config.kind_enabled(UnitKind::Substr) {
         for &s in &placeholder.source_positions {
-            push(Unit::substr(s, s + len), &mut out);
+            push(Unit::substr(s, s + len), pool, &mut out);
         }
     }
 
@@ -64,7 +84,7 @@ pub fn candidate_units(
             }
             for (i, range) in source.split_ranges(c).into_iter().enumerate() {
                 if source.slice_range(range) == Some(text) {
-                    push(Unit::split(c, i), &mut out);
+                    push(Unit::split(c, i), pool, &mut out);
                 }
             }
         }
@@ -102,7 +122,7 @@ pub fn candidate_units(
                     .find(|(_, r)| r.start <= occ && occ + len <= r.end)
                 {
                     let offset = occ - piece.start;
-                    push(Unit::split_substr(c, i, offset, offset + len), &mut out);
+                    push(Unit::split_substr(c, i, offset, offset + len), pool, &mut out);
                 }
             }
         }
@@ -135,6 +155,7 @@ pub fn candidate_units(
                         let offset = occ - piece.start;
                         push(
                             Unit::two_char_split_substr(c1, c2, i, offset, offset + len),
+                            pool,
                             &mut out,
                         );
                     }
@@ -144,10 +165,11 @@ pub fn candidate_units(
     }
 
     // (5) Literal(text).
-    push(Unit::literal(text), &mut out);
+    push(Unit::literal(text), pool, &mut out);
 
     debug_assert!(
-        out.iter().all(|u| u
+        out.iter().all(|&id| pool
+            .get(id)
             .output_on(source)
             .map(|o| o == placeholder.text)
             .unwrap_or(false)),
@@ -258,8 +280,10 @@ mod tests {
 
     #[test]
     fn candidate_cap_respected() {
-        let mut config = SynthesisConfig::default();
-        config.max_units_per_placeholder = 3;
+        let config = SynthesisConfig {
+            max_units_per_placeholder: 3,
+            ..SynthesisConfig::default()
+        };
         let (src, p) = placeholder_for("aaaaaaaaaa", "aaa", "aaa");
         let units = candidate_units(&p, &src, &config);
         assert!(units.len() <= 3);
@@ -267,8 +291,10 @@ mod tests {
 
     #[test]
     fn substr_disabled_when_not_in_kind_list() {
-        let mut config = SynthesisConfig::default();
-        config.unit_kinds = vec![UnitKind::Split];
+        let config = SynthesisConfig {
+            unit_kinds: vec![UnitKind::Split],
+            ..SynthesisConfig::default()
+        };
         let (src, p) = placeholder_for("abc,def", "def", "def");
         let units = candidate_units(&p, &src, &config);
         assert!(units.iter().all(|u| u.kind() != UnitKind::Substr));

@@ -1,0 +1,228 @@
+//! Regex-subset string strategies (subset of `proptest::string`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt;
+
+/// Error compiling a pattern into a strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Characters `\PC` (not-Unicode-Other, i.e. printable-ish) draws from:
+/// printable ASCII plus a handful of multi-byte characters so char/byte
+/// confusion bugs are exercised.
+const NON_ASCII_POOL: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '日', '—', '€', 'α', 'ü'];
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Explicit alternatives (from `[...]` classes or literal characters).
+    OneOf(Vec<char>),
+    /// `\PC`: printable characters.
+    Printable,
+}
+
+impl CharSet {
+    fn gen_char(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::OneOf(choices) => choices[rng.rng.gen_range(0..choices.len())],
+            CharSet::Printable => {
+                // 1 in 8 characters comes from the non-ASCII pool.
+                if rng.rng.gen_range(0..8usize) == 0 {
+                    NON_ASCII_POOL[rng.rng.gen_range(0..NON_ASCII_POOL.len())]
+                } else {
+                    char::from(rng.rng.gen_range(0x20u8..0x7F))
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled regex-subset strategy producing `String`s.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = rng.rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.set.gen_char(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Compiles `pattern` into a string strategy.
+///
+/// Supported syntax: literal characters, `[...]` classes with ranges (no
+/// negation), `\PC` (printable), `\` escapes, and `{m}` / `{m,n}` / `?` /
+/// `*` / `+` repetition suffixes. Anything else returns an [`Error`].
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or_else(|| Error(pattern.to_owned()))?
+                    + i
+                    + 1;
+                let body = &chars[i + 1..close];
+                if body.first() == Some(&'^') {
+                    return Err(Error(pattern.to_owned()));
+                }
+                let mut choices = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j], body[j + 2]);
+                        if lo > hi {
+                            return Err(Error(pattern.to_owned()));
+                        }
+                        choices.extend(lo..=hi);
+                        j += 3;
+                    } else {
+                        choices.push(body[j]);
+                        j += 1;
+                    }
+                }
+                if choices.is_empty() {
+                    return Err(Error(pattern.to_owned()));
+                }
+                i = close + 1;
+                CharSet::OneOf(choices)
+            }
+            '\\' => {
+                let next = *chars.get(i + 1).ok_or_else(|| Error(pattern.to_owned()))?;
+                if next == 'P' && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    CharSet::Printable
+                } else {
+                    i += 2;
+                    CharSet::OneOf(vec![next])
+                }
+            }
+            '(' | ')' | '|' | '.' => {
+                // Groups, alternation, and the any-char dot are out of scope.
+                return Err(Error(pattern.to_owned()));
+            }
+            c => {
+                i += 1;
+                CharSet::OneOf(vec![c])
+            }
+        };
+
+        // Optional repetition suffix.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error(pattern.to_owned()))?
+                    + i
+                    + 1;
+                let body: String = chars[i + 1..close].iter().collect();
+                let bounds = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().map_err(|_| Error(pattern.to_owned()))?,
+                        hi.parse().map_err(|_| Error(pattern.to_owned()))?,
+                    ),
+                    None => {
+                        let n = body.parse().map_err(|_| Error(pattern.to_owned()))?;
+                        (n, n)
+                    }
+                };
+                i = close + 1;
+                bounds
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        if min > max {
+            return Err(Error(pattern.to_owned()));
+        }
+        atoms.push(Atom { set, min, max });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_trailing_dash_is_literal() {
+        let strat = string_regex("[a-c_-]{8}").unwrap();
+        let mut rng = TestRng::deterministic("dash");
+        for _ in 0..50 {
+            let s = strat.gen_value(&mut rng);
+            assert_eq!(s.chars().count(), 8);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '_' | '-')), "{s}");
+        }
+    }
+
+    #[test]
+    fn printable_generates_multibyte_sometimes() {
+        let strat = string_regex("\\PC{0,30}").unwrap();
+        let mut rng = TestRng::deterministic("printable");
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            let s = strat.gen_value(&mut rng);
+            assert!(s.chars().count() <= 30);
+            saw_multibyte |= !s.is_ascii();
+        }
+        assert!(saw_multibyte, "\\PC never produced a multi-byte character");
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let strat = string_regex("a{3}b").unwrap();
+        let mut rng = TestRng::deterministic("exact");
+        assert_eq!(strat.gen_value(&mut rng), "aaab");
+    }
+
+    #[test]
+    fn unsupported_patterns_error() {
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("[ab").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+    }
+}

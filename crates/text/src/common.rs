@@ -78,7 +78,7 @@ pub fn common_substring_matches(source: &str, target: &str) -> Vec<CommonMatch> 
             continue;
         }
         // Maximal on the left: not a proper suffix of the block starting at i-1.
-        if i > 0 && max_len[i - 1] >= max_len[i] + 1 {
+        if i > 0 && max_len[i - 1] > max_len[i] {
             continue;
         }
         let block: String = t[i..i + max_len[i]].iter().collect();

@@ -138,7 +138,7 @@ mod tests {
         // Exercise the remainder path with 1..7 byte inputs.
         let mut seen = FxHashSet::default();
         for len in 1..8usize {
-            let s: String = std::iter::repeat('x').take(len).collect();
+            let s: String = std::iter::repeat_n('x', len).collect();
             assert!(seen.insert(fx_hash_one(&s)));
         }
         assert_eq!(seen.len(), 7);

@@ -51,10 +51,12 @@
 
 pub mod charstr;
 pub mod error;
+pub mod pool;
 pub mod transformation;
 pub mod unit;
 
 pub use charstr::CharStr;
 pub use error::UnitError;
+pub use pool::{IdTransformation, UnitId, UnitPool};
 pub use transformation::{CoveredTransformation, Transformation, TransformationSet};
 pub use unit::{Unit, UnitKind};

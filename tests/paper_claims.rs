@@ -90,8 +90,10 @@ fn resplitting_never_hurts_coverage() {
     ];
     let with = SynthesisEngine::new(SynthesisConfig::default()).discover_from_strings(&rows);
     let without = {
-        let mut c = SynthesisConfig::default();
-        c.resplit_placeholders = false;
+        let c = SynthesisConfig {
+            resplit_placeholders: false,
+            ..SynthesisConfig::default()
+        };
         SynthesisEngine::new(c).discover_from_strings(&rows)
     };
     assert!(with.set_coverage() >= without.set_coverage() - 1e-9);

@@ -4,6 +4,10 @@
 
 use proptest::prelude::*;
 use tabjoin::prelude::*;
+use tabjoin::synthesis::coverage::reference::compute_coverage_reference;
+use tabjoin::synthesis::coverage::compute_coverage;
+use tabjoin::synthesis::pair::PairSet;
+use tabjoin::text::NormalizeOptions;
 
 /// Strategy for small sets of (source, target) pairs where the target is
 /// derived from the source by one of a few format rules, optionally with a
@@ -20,6 +24,48 @@ fn formatted_rows() -> impl Strategy<Value = Vec<(String, String)>> {
         (source, target)
     });
     prop::collection::vec(row, 2..8)
+}
+
+/// Strategy for arbitrary units over realistic delimiters and positions.
+fn any_unit() -> impl Strategy<Value = Unit> {
+    let pos = || 0usize..12;
+    let delim = || prop_oneof![Just(','), Just(';'), Just(' '), Just('-'), Just('@')];
+    prop_oneof![
+        (pos(), pos()).prop_map(|(a, b)| Unit::substr(a.min(b), a.max(b))),
+        (delim(), 0usize..4).prop_map(|(d, i)| Unit::split(d, i)),
+        (delim(), 0usize..4, pos(), pos())
+            .prop_map(|(d, i, a, b)| Unit::split_substr(d, i, a.min(b), a.max(b))),
+        "[a-z@. ]{0,4}".prop_map(Unit::literal),
+    ]
+}
+
+/// Strategy for a random unit pool plus transformations drawn as sequences
+/// over that pool — the Cartesian-product shape the coverage cache exploits
+/// (shared units recur across many transformations).
+fn pooled_transformations() -> impl Strategy<Value = Vec<Transformation>> {
+    (prop::collection::vec(any_unit(), 2..7), 0usize..400).prop_map(|(pool, picks)| {
+        // Derive up to ~40 transformations deterministically from `picks` by
+        // walking index combinations over the pool.
+        let n = pool.len();
+        (0..(picks % 40) + 1)
+            .map(|t| {
+                let len = t % 3 + 1;
+                Transformation::new(
+                    (0..len)
+                        .map(|j| pool[(t * 7 + j * 3 + picks) % n].clone())
+                        .collect(),
+                )
+            })
+            .collect()
+    })
+}
+
+/// Strategy for small row sets of short strings with realistic delimiters.
+fn random_rows() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(
+        ("[a-z,;@ -]{0,14}", "[a-z,;@ -]{0,10}"),
+        1..6,
+    )
 }
 
 proptest! {
@@ -101,6 +147,52 @@ proptest! {
             let adds_new = t.covered_rows.iter().any(|r| !seen.contains(r));
             prop_assert!(adds_new, "useless member {}", t.transformation);
             seen.extend(t.covered_rows.iter().copied());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The interned coverage engine (unit pool + per-row memoization +
+    /// bitset cache + bitmap coverage) returns byte-identical covered rows,
+    /// trial counts, and cache-hit counts to the retained naive reference
+    /// implementation — across random unit pools and row sets, with and
+    /// without the cache, sequentially and with the 4-thread chunking.
+    #[test]
+    fn interned_coverage_matches_reference(
+        ts in pooled_transformations(),
+        rows in random_rows(),
+        use_cache in prop_oneof![Just(true), Just(false)],
+    ) {
+        let set = PairSet::from_strings(&rows, &NormalizeOptions::none());
+        for threads in [1usize, 4] {
+            let interned = compute_coverage(&ts, &set, use_cache, threads);
+            let reference = compute_coverage_reference(&ts, &set, use_cache, threads);
+            prop_assert_eq!(
+                interned.covered_rows_as_vecs(),
+                reference.covered_rows_as_vecs(),
+                "covered rows diverged (cache={}, threads={})", use_cache, threads
+            );
+            prop_assert_eq!(interned.trials, reference.trials,
+                "trials diverged (cache={}, threads={})", use_cache, threads);
+            prop_assert_eq!(interned.cache_hits, reference.cache_hits,
+                "cache hits diverged (cache={}, threads={})", use_cache, threads);
+            prop_assert_eq!(interned.potential_trials, reference.potential_trials);
+
+            if threads == 1 {
+                // Memoization bound: the sequential engine evaluates each
+                // (row, unit) pair at most once, so evaluations are capped
+                // by rows x distinct units.
+                let distinct_units: std::collections::HashSet<&Unit> =
+                    ts.iter().flat_map(|t| t.units()).collect();
+                prop_assert!(
+                    interned.unit_evaluations
+                        <= (set.len() * distinct_units.len()) as u64,
+                    "memo bound violated: {} evaluations for {} rows x {} units",
+                    interned.unit_evaluations, set.len(), distinct_units.len()
+                );
+            }
         }
     }
 }
