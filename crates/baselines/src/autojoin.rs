@@ -107,7 +107,7 @@ impl AutoJoinResult {
             .zip(coverage.covered_rows)
             .map(|(t, rows)| CoveredTransformation {
                 transformation: t.clone(),
-                covered_rows: rows.to_vec(),
+                covered_rows: rows,
             })
             .collect();
         TransformationSet {

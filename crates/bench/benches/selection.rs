@@ -1,0 +1,227 @@
+//! Selection-phase benchmark: the quadratic full-rescan greedy cover
+//! (retained in `tjoin_core::cover::reference`) vs the lazy-greedy (CELF)
+//! priority-queue cover, at GXJoin-scale candidate counts.
+//!
+//! Two experiments, both written to `BENCH_selection.json` at the workspace
+//! root:
+//!
+//! * `selection_comparison` — 10^5 synthetic candidates × 2,048 rows,
+//!   head-to-head timing of both implementations after asserting the
+//!   selected sets are bit-identical (same transformations, same order,
+//!   same covered rows). The acceptance bar is a ≥ 5× speedup.
+//! * the 10^6-candidate case — 10^6 synthetic sparse coverage lists ×
+//!   10^4 rows in the realistic mostly-empty regime: measures the sparse
+//!   collection's memory footprint against the dense per-candidate
+//!   `RowBitmap` pre-allocation it replaced (~1.25 GB at this shape), then
+//!   densifies only the non-empty survivors and times the lazy-greedy
+//!   selection over them. The reference rescan is deliberately not run at
+//!   10^6 (that is the wall this PR removes); its cost is bounded below by
+//!   the 10^5 measurement × 10.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use tjoin_core::cover::reference::greedy_cover_reference;
+use tjoin_core::cover::{lazy_greedy_cover, ScoredTransformation};
+use tjoin_core::RowBitmap;
+use tjoin_units::{Transformation, TransformationSet, Unit};
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn transformation_for(i: usize) -> Transformation {
+    Transformation::new(vec![
+        Unit::substr(i % 8, i % 8 + i % 3 + 1),
+        Unit::literal(format!("{i:06}")),
+    ])
+}
+
+/// A candidate pool shaped like a filtered coverage output: a few dozen
+/// "planted" candidates covering disjoint row stripes (these get selected,
+/// driving ~`stripes` greedy rounds) plus a large majority of weak
+/// candidates covering a handful of rows inside a random stripe (these are
+/// what the full rescan pays for and the lazy heap skips).
+fn selection_workload(
+    candidates: usize,
+    rows: usize,
+    stripes: usize,
+    seed: u64,
+) -> Vec<ScoredTransformation> {
+    let stripe_len = rows / stripes;
+    let mut pool = Vec::with_capacity(candidates);
+    for i in 0..candidates {
+        let covered = if i < stripes {
+            // Planted: stripe i, fully covered.
+            let start = (i * stripe_len) as u32;
+            RowBitmap::from_rows(rows, &(start..start + stripe_len as u32).collect::<Vec<_>>())
+        } else {
+            let h = splitmix(seed ^ (i as u64) << 1);
+            let stripe = (h as usize) % stripes;
+            let start = stripe * stripe_len;
+            let picks = (h >> 16) % 12 + 1;
+            let rows_in: Vec<u32> = (0..picks)
+                .map(|k| (start + (splitmix(h ^ k) as usize) % stripe_len) as u32)
+                .collect();
+            RowBitmap::from_rows(rows, &rows_in)
+        };
+        pool.push(ScoredTransformation {
+            transformation: transformation_for(i),
+            covered,
+        });
+    }
+    pool
+}
+
+fn assert_selection_identical(a: &TransformationSet, b: &TransformationSet) {
+    assert_eq!(a.total_pairs, b.total_pairs, "total pairs diverged");
+    assert_eq!(a.len(), b.len(), "selected counts diverged");
+    for (x, y) in a.transformations.iter().zip(&b.transformations) {
+        assert_eq!(
+            x.transformation.to_string(),
+            y.transformation.to_string(),
+            "selected transformations diverged"
+        );
+        assert_eq!(x.covered_rows, y.covered_rows, "covered rows diverged");
+    }
+}
+
+/// Median seconds of `f` consuming one pre-built pool copy per sample, so
+/// the measurement is pure selection — the input clone happens outside the
+/// timed region (both cover implementations take candidates by value).
+fn time_selection<F>(samples: usize, pool: &[ScoredTransformation], mut f: F) -> f64
+where
+    F: FnMut(Vec<ScoredTransformation>),
+{
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let copy = pool.to_vec();
+        let start = Instant::now();
+        f(copy);
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|x, y| x.total_cmp(y));
+    times[times.len() / 2]
+}
+
+fn bench_selection(c: &mut Criterion) {
+    // A smaller pool for the per-iteration criterion group so the reference
+    // leg stays sampleable.
+    let pool = selection_workload(20_000, 2_048, 32, 41);
+    let rows = 2_048;
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(greedy_cover_reference(black_box(pool.clone()), rows)))
+    });
+    group.bench_function("lazy_greedy", |b| {
+        b.iter(|| black_box(lazy_greedy_cover(black_box(pool.clone()), rows)))
+    });
+    group.finish();
+}
+
+/// The 10^6-candidate sparse-collection experiment (see module docs).
+/// Returns (dense_bytes, sparse_bytes, survivors, lazy_seconds, selected).
+fn large_sparse_case(candidates: usize, rows: usize) -> (u64, u64, usize, f64, usize) {
+    // Synthetic sparse coverage lists in the realistic mostly-empty regime:
+    // ~2 % of candidates cover anything at all.
+    let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(candidates);
+    for i in 0..candidates {
+        let h = splitmix(0xabcd_ef01 ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+        if h.is_multiple_of(50) {
+            let stripe = (h >> 8) as usize % 64;
+            let stripe_len = rows / 64;
+            let start = stripe * stripe_len;
+            let picks = (h >> 20) % 24 + 1;
+            let mut rows_in: Vec<u32> = (0..picks)
+                .map(|k| (start + (splitmix(h ^ k) as usize) % stripe_len) as u32)
+                .collect();
+            rows_in.sort_unstable();
+            rows_in.dedup();
+            sparse.push(rows_in);
+        } else {
+            sparse.push(Vec::new());
+        }
+    }
+
+    // Memory accounting: what the dense pre-allocation would have cost vs
+    // what the sparse lists actually hold.
+    let dense_bytes = (candidates * rows.div_ceil(64) * 8) as u64;
+    let sparse_bytes = sparse
+        .iter()
+        .map(|v| (std::mem::size_of::<Vec<u32>>() + v.capacity() * 4) as u64)
+        .sum::<u64>();
+
+    // Densify only the non-empty survivors (the engine's wiring).
+    let survivors: Vec<ScoredTransformation> = sparse
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(i, v)| ScoredTransformation {
+            transformation: transformation_for(i),
+            covered: RowBitmap::from_sorted_rows(rows, v),
+        })
+        .collect();
+    let survivor_count = survivors.len();
+
+    let cover = lazy_greedy_cover(survivors.clone(), rows);
+    let selected = cover.len();
+    let lazy_secs = time_selection(3, &survivors, |copy| {
+        black_box(lazy_greedy_cover(copy, rows));
+    });
+    (dense_bytes, sparse_bytes, survivor_count, lazy_secs, selected)
+}
+
+fn selection_comparison(_c: &mut Criterion) {
+    // Acceptance experiment: 10^5 candidates, 64 planted stripes so the
+    // greedy runs a realistic number of selection rounds.
+    let candidates = 100_000;
+    let rows = 2_048;
+    let pool = selection_workload(candidates, rows, 64, 17);
+
+    let reference_cover = greedy_cover_reference(pool.clone(), rows);
+    let lazy_cover = lazy_greedy_cover(pool.clone(), rows);
+    assert_selection_identical(&lazy_cover, &reference_cover);
+
+    let samples = 5;
+    let reference_secs = time_selection(samples, &pool, |copy| {
+        black_box(greedy_cover_reference(copy, rows));
+    });
+    let lazy_secs = time_selection(samples, &pool, |copy| {
+        black_box(lazy_greedy_cover(copy, rows));
+    });
+    let speedup = reference_secs / lazy_secs;
+
+    // Scale experiment: 10^6 sparse candidates (lazy + memory only).
+    let (dense_bytes, sparse_bytes, survivors, large_lazy_secs, large_selected) =
+        large_sparse_case(1_000_000, 10_000);
+
+    let summary = format!(
+        "{{\n  \"benchmark\": \"selection\",\n  \"candidates\": {candidates},\n  \"rows\": {rows},\n  \"samples\": {samples},\n  \"reference_median_seconds\": {reference_secs:.6},\n  \"lazy_greedy_median_seconds\": {lazy_secs:.6},\n  \"speedup\": {speedup:.2},\n  \"selected\": {},\n  \"selection_bit_identical\": true,\n  \"large_case\": {{\n    \"candidates\": 1000000,\n    \"rows\": 10000,\n    \"dense_collection_bytes\": {dense_bytes},\n    \"sparse_collection_bytes\": {sparse_bytes},\n    \"memory_ratio\": {:.1},\n    \"densified_survivors\": {survivors},\n    \"lazy_greedy_median_seconds\": {large_lazy_secs:.6},\n    \"selected\": {large_selected}\n  }}\n}}\n",
+        lazy_cover.len(),
+        dense_bytes as f64 / sparse_bytes as f64,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_selection.json");
+    std::fs::write(path, &summary).expect("write BENCH_selection.json");
+    println!(
+        "selection_comparison: speedup {speedup:.2}x (reference {reference_secs:.4}s vs lazy {lazy_secs:.4}s per iter at {candidates} candidates)"
+    );
+    println!(
+        "large case: dense {dense_bytes} B vs sparse {sparse_bytes} B ({:.1}x), {survivors} survivors densified, lazy select {large_lazy_secs:.4}s",
+        dense_bytes as f64 / sparse_bytes as f64
+    );
+    println!("summary written to {path}");
+    assert!(
+        speedup >= 5.0,
+        "lazy-greedy selection must be at least 5x faster at 10^5 candidates, got {speedup:.2}x"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_selection, selection_comparison
+}
+criterion_main!(benches);

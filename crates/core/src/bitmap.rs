@@ -31,6 +31,24 @@ impl RowBitmap {
         bitmap
     }
 
+    /// Densifies a *strictly sorted* sparse row list (the coverage phase's
+    /// per-chunk collection format) into a bitmap.
+    ///
+    /// This is the sparse→dense bridge of the selection pipeline: coverage
+    /// accumulates sorted `Vec<u32>` row lists (cheap for the mostly-empty
+    /// candidate majority) and only the candidates surviving the
+    /// non-empty/support filter are densified for the set-algebra selection
+    /// phase. The bit-setting is the same as [`Self::from_rows`]; this
+    /// entry point exists to state — and debug-assert — the sparse format's
+    /// strict-sortedness contract at the boundary.
+    pub fn from_sorted_rows(rows: usize, indices: &[u32]) -> Self {
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "sparse row list must be strictly sorted"
+        );
+        Self::from_rows(rows, indices)
+    }
+
     /// The row capacity.
     pub fn capacity(&self) -> usize {
         self.rows
@@ -173,5 +191,79 @@ mod tests {
         assert!(b.is_empty());
         assert!(b.is_full());
         assert_eq!(b.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn from_sorted_rows_matches_from_rows_at_word_boundaries() {
+        // Capacities straddling the 64-bit word boundary, including the
+        // empty bitmap and non-multiple-of-64 tails.
+        for rows in [0usize, 1, 63, 64, 65, 127, 128, 129, 200] {
+            let indices: Vec<u32> = (0..rows as u32).filter(|i| i % 3 == 0).collect();
+            let sparse = RowBitmap::from_sorted_rows(rows, &indices);
+            let dense = RowBitmap::from_rows(rows, &indices);
+            assert_eq!(sparse, dense, "rows={rows}");
+            assert_eq!(sparse.to_vec(), indices, "rows={rows}");
+            assert_eq!(sparse.capacity(), rows);
+        }
+    }
+
+    #[test]
+    fn from_sorted_rows_boundary_bits() {
+        // The exact bits around a word seam land in the right words.
+        let b = RowBitmap::from_sorted_rows(66, &[0, 63, 64, 65]);
+        for row in [0usize, 63, 64, 65] {
+            assert!(b.contains(row), "row {row}");
+        }
+        assert!(!b.contains(1));
+        assert!(!b.contains(62));
+        assert_eq!(b.count_ones(), 4);
+
+        // Empty list, non-empty capacity.
+        let empty = RowBitmap::from_sorted_rows(65, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.capacity(), 65);
+
+        // Zero-capacity round trip.
+        let zero = RowBitmap::from_sorted_rows(0, &[]);
+        assert!(zero.is_full());
+    }
+
+    #[test]
+    fn and_not_count_at_word_boundaries() {
+        // Differences entirely within the last (partial) word of a
+        // non-multiple-of-64 bitmap, and straddling the 63/64 seam.
+        for rows in [63usize, 64, 65, 130] {
+            let last = rows as u32 - 1;
+            let a = RowBitmap::from_rows(rows, &[0, last]);
+            let b = RowBitmap::from_rows(rows, &[0]);
+            assert_eq!(a.and_not_count(&b), 1, "rows={rows}");
+            assert_eq!(b.and_not_count(&a), 0, "rows={rows}");
+            assert_eq!(a.and_not_count(&RowBitmap::new(rows)), 2, "rows={rows}");
+        }
+        let a = RowBitmap::from_rows(65, &[63, 64]);
+        let b = RowBitmap::from_rows(65, &[63]);
+        assert_eq!(a.and_not_count(&b), 1);
+        let zero_a = RowBitmap::new(0);
+        let zero_b = RowBitmap::new(0);
+        assert_eq!(zero_a.and_not_count(&zero_b), 0);
+    }
+
+    #[test]
+    fn union_with_at_word_boundaries() {
+        for rows in [63usize, 64, 65] {
+            let last = rows as u32 - 1;
+            let mut acc = RowBitmap::from_rows(rows, &[0]);
+            acc.union_with(&RowBitmap::from_rows(rows, &[last]));
+            assert_eq!(acc.to_vec(), vec![0, last], "rows={rows}");
+            assert!(!acc.is_full());
+        }
+        // Union across the seam fills both sides of the word boundary.
+        let mut acc = RowBitmap::from_rows(65, &[63]);
+        acc.union_with(&RowBitmap::from_rows(65, &[64]));
+        assert_eq!(acc.to_vec(), vec![63, 64]);
+        // Zero-capacity union is a no-op.
+        let mut zero = RowBitmap::new(0);
+        zero.union_with(&RowBitmap::new(0));
+        assert!(zero.is_empty());
     }
 }

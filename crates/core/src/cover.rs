@@ -8,10 +8,37 @@
 //!
 //! Coverage is carried as [`RowBitmap`]s end to end: marginal gain is a
 //! word-wise AND-NOT + popcount instead of a sorted-`Vec<u32>` difference,
-//! and [`greedy_cover`] consumes its candidates by value, so selected
+//! and [`lazy_greedy_cover`] consumes its candidates by value, so selected
 //! transformations are moved — not cloned — into the result set.
+//!
+//! # Lazy-greedy selection (CELF)
+//!
+//! The textbook greedy loop rescans every candidate per selection —
+//! O(selected × candidates × rows/64) — which becomes the scaling wall once
+//! candidate pools reach GXJoin scale (10^5–10^6). [`lazy_greedy_cover`]
+//! instead keeps every candidate's *last known* marginal gain in a max-heap
+//! and, per round, re-evaluates only entries popped from the top until the
+//! top entry's gain is confirmed fresh for the current round.
+//!
+//! This is exact, not approximate, because marginal gain is **submodular**:
+//! the covered set only grows between rounds, so a candidate's true gain can
+//! only shrink, and every cached (stale) heap entry is an *upper bound* on
+//! its candidate's true gain. When the popped top entry is fresh, its key is
+//! ≥ every cached key ≥ every true key — it is the exact argmax the rescan
+//! loop would have found, stale entries elsewhere in the heap
+//! notwithstanding. Tie-breaking (equal gain → fewer units → lexicographic →
+//! first in input order) is split: the heap orders entries by (gain, unit
+//! count, input index), and the lexicographic leg is resolved at pop time
+//! over the fresh (gain, len) tie group only, with rendered strings
+//! memoized per candidate — candidates that never tie at the top never pay
+//! a string render. The selected set is bit-identical — same
+//! transformations, same order, same covered rows — to the retained
+//! quadratic oracle in [`reference::greedy_cover_reference`]; the
+//! differential suite in `tests/proptest_selection.rs` pins this.
 
 use crate::bitmap::RowBitmap;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use tjoin_units::{CoveredTransformation, Transformation, TransformationSet};
 
 /// A transformation together with the rows it covers (the coverage phase's
@@ -37,6 +64,15 @@ impl ScoredTransformation {
     }
 }
 
+/// The minimum covered-row count implied by a `min_support` fraction over
+/// `total_rows` (never below 1: zero-coverage candidates are always dropped).
+///
+/// Shared by [`filter_candidates`] and the engine's sparse pre-densification
+/// filter so both apply the identical threshold.
+pub fn min_rows_for_support(total_rows: usize, min_support: f64) -> usize {
+    ((min_support * total_rows as f64).ceil() as usize).max(1)
+}
+
 /// Drops transformations whose coverage is below `min_support` (a fraction of
 /// `total_rows`) or that consist solely of literals while covering a single
 /// row (such candidates are target values copied verbatim and never
@@ -46,7 +82,7 @@ pub fn filter_candidates(
     total_rows: usize,
     min_support: f64,
 ) -> Vec<ScoredTransformation> {
-    let min_rows = ((min_support * total_rows as f64).ceil() as usize).max(1);
+    let min_rows = min_rows_for_support(total_rows, min_support);
     candidates
         .into_iter()
         .filter(|c| {
@@ -77,48 +113,157 @@ pub fn top_k(candidates: &[ScoredTransformation], k: usize) -> Vec<CoveredTransf
         .collect()
 }
 
-/// Greedy minimal set cover: repeatedly selects the transformation covering
-/// the most not-yet-covered rows until no candidate adds coverage.
+/// A cached marginal gain in the lazy-greedy max-heap.
+///
+/// Ordered by gain (descending), then unit count (ascending), then input
+/// index (ascending). The lexicographic leg of the tie-break is *not* part
+/// of the heap order — rendering every candidate to a string up front is
+/// the dominant cost at 10^5 candidates — so entries tied on `(gain, len)`
+/// are resolved at pop time by [`lazy_greedy_cover`], which renders strings
+/// lazily and memoizes them per candidate. `epoch` records the selection
+/// round the gain was computed in; it deliberately takes no part in the
+/// ordering — indices are unique per candidate and each candidate has at
+/// most one live entry, so (gain, len, idx) is already a total order over
+/// the heap contents.
+struct GainEntry {
+    gain: usize,
+    len: u32,
+    idx: u32,
+    epoch: u32,
+}
+
+impl Ord for GainEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .cmp(&other.gain)
+            .then_with(|| other.len.cmp(&self.len))
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for GainEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for GainEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for GainEntry {}
+
+/// Greedy minimal set cover via a lazy-greedy (CELF) priority queue:
+/// repeatedly selects the transformation covering the most not-yet-covered
+/// rows until no candidate adds coverage, re-evaluating only the candidates
+/// that surface at the top of a cached-gain max-heap.
 ///
 /// Ties are broken toward shorter transformations (fewer units — the paper's
-/// second quality measure) and then lexicographically for determinism. The
+/// second quality measure), then lexicographically, then toward the earlier
+/// candidate in input order — exactly the rescan loop's order, so the result
+/// is bit-identical to [`reference::greedy_cover_reference`] (see the module
+/// docs for why stale heap entries cannot change the selection). The
 /// returned set lists each selected transformation with *all* rows it covers
 /// (not only the marginal ones), ordered by selection. Candidates are
 /// consumed: the winners' transformations move into the result set.
-pub fn greedy_cover(
+pub fn lazy_greedy_cover(
     candidates: Vec<ScoredTransformation>,
     total_rows: usize,
 ) -> TransformationSet {
+    // Seed the heap with every candidate's full coverage: against the empty
+    // covered set the marginal gain IS the coverage, so every entry starts
+    // fresh for round 0.
+    let mut heap: BinaryHeap<GainEntry> = candidates
+        .iter()
+        .enumerate()
+        .map(|(idx, c)| GainEntry {
+            gain: c.covered.count_ones(),
+            len: c.transformation.len() as u32,
+            idx: idx as u32,
+            epoch: 0,
+        })
+        .collect();
+
+    let mut slots: Vec<Option<ScoredTransformation>> =
+        candidates.into_iter().map(Some).collect();
+    // Lexicographic tie keys, rendered lazily: only candidates that reach a
+    // genuine fresh (gain, len) tie at the heap top ever pay the render.
+    let mut strings: Vec<Option<Box<str>>> = vec![None; slots.len()];
+    fn fill(strings: &mut [Option<Box<str>>], slots: &[Option<ScoredTransformation>], idx: usize) {
+        if strings[idx].is_none() {
+            let t = &slots[idx].as_ref().expect("unselected candidate").transformation;
+            strings[idx] = Some(t.to_string().into_boxed_str());
+        }
+    }
+
     let mut covered = RowBitmap::new(total_rows);
     let mut selected: Vec<CoveredTransformation> = Vec::new();
-    let mut remaining = candidates;
+    let mut epoch: u32 = 0;
+    let mut held: Vec<GainEntry> = Vec::new();
 
-    loop {
-        let mut best: Option<(usize, usize)> = None; // (marginal gain, index)
-        for (idx, cand) in remaining.iter().enumerate() {
-            let gain = cand.covered.and_not_count(&covered);
-            if gain == 0 {
-                continue;
+    while let Some(entry) = heap.pop() {
+        // Cached gains are upper bounds (submodularity), so a zero at the
+        // top means every remaining candidate's true gain is zero.
+        if entry.gain == 0 {
+            break;
+        }
+        if entry.epoch != epoch {
+            // Stale: refresh against the current covered set and reinsert.
+            let gain = slots[entry.idx as usize]
+                .as_ref()
+                .expect("unselected candidate present")
+                .covered
+                .and_not_count(&covered);
+            heap.push(GainEntry { gain, epoch, ..entry });
+            continue;
+        }
+        // Fresh top: the exact argmax under (gain, len, idx). Every entry
+        // still tied on (gain, len) was ordered behind it only by input
+        // index, but lexicographic order ranks before index in the
+        // tie-break chain — pop the whole tie group, refresh its stale
+        // members, and pick the true winner by (string, idx).
+        let mut best = entry;
+        held.clear();
+        while let Some(top) = heap.peek() {
+            if top.gain != best.gain || top.len != best.len {
+                break;
             }
-            let better = match best {
-                None => true,
-                Some((best_gain, best_idx)) => {
-                    let current_best = &remaining[best_idx];
-                    gain > best_gain
-                        || (gain == best_gain
-                            && (cand.transformation.len() < current_best.transformation.len()
-                                || (cand.transformation.len()
-                                    == current_best.transformation.len()
-                                    && cand.transformation.to_string()
-                                        < current_best.transformation.to_string())))
+            let next = heap.pop().expect("peeked entry present");
+            let fi = next.idx as usize;
+            let next = if next.epoch != epoch {
+                let gain = slots[fi]
+                    .as_ref()
+                    .expect("unselected candidate present")
+                    .covered
+                    .and_not_count(&covered);
+                if gain != next.gain {
+                    // No longer tied (gain can only have dropped).
+                    heap.push(GainEntry { gain, epoch, ..next });
+                    continue;
                 }
+                GainEntry { epoch, ..next }
+            } else {
+                next
             };
-            if better {
-                best = Some((gain, idx));
+            fill(&mut strings, &slots, fi);
+            fill(&mut strings, &slots, best.idx as usize);
+            let wins = match strings[fi].cmp(&strings[best.idx as usize]) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => next.idx < best.idx,
+            };
+            if wins {
+                held.push(std::mem::replace(&mut best, next));
+            } else {
+                held.push(next);
             }
         }
-        let Some((_, idx)) = best else { break };
-        let chosen = remaining.remove(idx);
+        // The tied losers are fresh for this round; they go straight back.
+        heap.extend(held.drain(..));
+
+        let chosen = slots[best.idx as usize].take().expect("candidate selected twice");
         covered.union_with(&chosen.covered);
         let done = covered.is_full();
         selected.push(CoveredTransformation {
@@ -128,11 +273,79 @@ pub fn greedy_cover(
         if done {
             break;
         }
+        epoch += 1;
     }
 
     TransformationSet {
         transformations: selected,
         total_pairs: total_rows,
+    }
+}
+
+pub mod reference {
+    //! The quadratic full-rescan greedy loop the lazy-greedy heap replaced:
+    //! every selection round re-evaluates the marginal gain of *every*
+    //! remaining candidate. Retained verbatim as the differential-testing
+    //! oracle (see `tests/proptest_selection.rs`) and as the baseline leg of
+    //! the `selection` benchmark.
+
+    use super::ScoredTransformation;
+    use crate::bitmap::RowBitmap;
+    use tjoin_units::{CoveredTransformation, TransformationSet};
+
+    /// Greedy minimal set cover by full rescan — O(selected × candidates ×
+    /// rows/64). Same contract and tie-breaking as
+    /// [`super::lazy_greedy_cover`], which must match it bit for bit.
+    pub fn greedy_cover_reference(
+        candidates: Vec<ScoredTransformation>,
+        total_rows: usize,
+    ) -> TransformationSet {
+        let mut covered = RowBitmap::new(total_rows);
+        let mut selected: Vec<CoveredTransformation> = Vec::new();
+        let mut remaining = candidates;
+
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (marginal gain, index)
+            for (idx, cand) in remaining.iter().enumerate() {
+                let gain = cand.covered.and_not_count(&covered);
+                if gain == 0 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((best_gain, best_idx)) => {
+                        let current_best = &remaining[best_idx];
+                        gain > best_gain
+                            || (gain == best_gain
+                                && (cand.transformation.len()
+                                    < current_best.transformation.len()
+                                    || (cand.transformation.len()
+                                        == current_best.transformation.len()
+                                        && cand.transformation.to_string()
+                                            < current_best.transformation.to_string())))
+                    }
+                };
+                if better {
+                    best = Some((gain, idx));
+                }
+            }
+            let Some((_, idx)) = best else { break };
+            let chosen = remaining.remove(idx);
+            covered.union_with(&chosen.covered);
+            let done = covered.is_full();
+            selected.push(CoveredTransformation {
+                covered_rows: chosen.covered.to_vec(),
+                transformation: chosen.transformation,
+            });
+            if done {
+                break;
+            }
+        }
+
+        TransformationSet {
+            transformations: selected,
+            total_pairs: total_rows,
+        }
     }
 }
 
@@ -155,6 +368,29 @@ mod tests {
         }
     }
 
+    /// Runs both selection implementations and asserts bit-identity before
+    /// returning the lazy-greedy result.
+    fn cover_checked(
+        candidates: Vec<ScoredTransformation>,
+        total_rows: usize,
+    ) -> TransformationSet {
+        let lazy = lazy_greedy_cover(candidates.clone(), total_rows);
+        let oracle = reference::greedy_cover_reference(candidates, total_rows);
+        assert_selection_identical(&lazy, &oracle);
+        lazy
+    }
+
+    fn assert_selection_identical(a: &TransformationSet, b: &TransformationSet) {
+        assert_eq!(a.total_pairs, b.total_pairs);
+        let render = |s: &TransformationSet| -> Vec<(String, Vec<u32>)> {
+            s.transformations
+                .iter()
+                .map(|t| (t.transformation.to_string(), t.covered_rows.clone()))
+                .collect()
+        };
+        assert_eq!(render(a), render(b), "selected sets diverged");
+    }
+
     #[test]
     fn greedy_selects_by_marginal_gain() {
         // t0 covers {0,1,2}, t1 covers {2,3}, t2 covers {3}: the greedy cover
@@ -164,7 +400,7 @@ mod tests {
         let t0 = scored_sized(vec![Unit::substr(0, 1)], 4, vec![0, 1, 2]);
         let t1 = scored_sized(vec![Unit::substr(0, 2)], 4, vec![2, 3]);
         let t2 = scored_sized(vec![Unit::substr(0, 3), Unit::literal("x")], 4, vec![3]);
-        let cover = greedy_cover(vec![t0, t1, t2], 4);
+        let cover = cover_checked(vec![t0, t1, t2], 4);
         assert_eq!(cover.len(), 2);
         assert_eq!(cover.transformations[0].covered_rows, vec![0, 1, 2]);
         assert!((cover.set_coverage() - 1.0).abs() < 1e-12);
@@ -174,16 +410,23 @@ mod tests {
     fn greedy_stops_when_no_gain() {
         let t0 = scored_sized(vec![Unit::substr(0, 1)], 3, vec![0]);
         let t1 = scored_sized(vec![Unit::substr(1, 2)], 3, vec![0]); // redundant
-        let cover = greedy_cover(vec![t0, t1], 3);
+        let cover = cover_checked(vec![t0, t1], 3);
         assert_eq!(cover.len(), 1);
         assert!((cover.set_coverage() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn greedy_empty_candidates() {
-        let cover = greedy_cover(vec![], 5);
+        let cover = cover_checked(vec![], 5);
         assert!(cover.is_empty());
         assert_eq!(cover.total_pairs, 5);
+        assert_eq!(cover.set_coverage(), 0.0);
+    }
+
+    #[test]
+    fn greedy_zero_rows() {
+        let cover = cover_checked(vec![], 0);
+        assert!(cover.is_empty());
         assert_eq!(cover.set_coverage(), 0.0);
     }
 
@@ -191,9 +434,58 @@ mod tests {
     fn greedy_prefers_shorter_transformation_on_ties() {
         let long = scored_sized(vec![Unit::substr(0, 1), Unit::literal("a")], 2, vec![0, 1]);
         let short = scored_sized(vec![Unit::substr(0, 2)], 2, vec![0, 1]);
-        let cover = greedy_cover(vec![long, short], 2);
+        let cover = cover_checked(vec![long, short], 2);
         assert_eq!(cover.len(), 1);
         assert_eq!(cover.transformations[0].transformation.len(), 1);
+    }
+
+    #[test]
+    fn tie_break_order_pinned_on_all_equal_gain_pool() {
+        // Adversarial pool for the heap ordering: four disjoint groups of
+        // three candidates, every candidate covering exactly 2 rows, so
+        // every selection round is an all-equal-gain tie. Within each group
+        // the winner is decided purely by (fewer units, lexicographic,
+        // input order); across groups the order is decided the same way.
+        // Pinning the exact selected sequence means a change to the heap
+        // ordering (or to the rank precomputation) cannot silently reorder
+        // the output.
+        let mut pool = Vec::new();
+        for g in 0..4u32 {
+            let rows = vec![2 * g, 2 * g + 1];
+            // Same coverage, increasing unit counts and varying strings.
+            pool.push(scored_sized(
+                vec![Unit::substr(g as usize, g as usize + 2), Unit::literal("pad")],
+                8,
+                rows.clone(),
+            ));
+            pool.push(scored_sized(vec![Unit::split(',', g as usize)], 8, rows.clone()));
+            pool.push(scored_sized(vec![Unit::substr(g as usize, g as usize + 1)], 8, rows));
+        }
+        // Duplicate one single-unit candidate exactly (same units, same
+        // coverage): input order is the only discriminator left.
+        pool.push(ScoredTransformation {
+            transformation: pool[2].transformation.clone(),
+            covered: pool[2].covered.clone(),
+        });
+        let cover = cover_checked(pool, 8);
+        let rendered: Vec<String> = cover
+            .transformations
+            .iter()
+            .map(|t| format!("{}@{:?}", t.transformation, t.covered_rows))
+            .collect();
+        // One winner per group. Groups all tie on gain=2, so the order
+        // follows the tie-break alone: all winners are single-unit, and
+        // `<Split…>` sorts lexicographically before `<Substr…>` — pin the
+        // concrete sequence.
+        let expected: Vec<String> = vec![
+            "<Split(',',0)>@[0, 1]".into(),
+            "<Split(',',1)>@[2, 3]".into(),
+            "<Split(',',2)>@[4, 5]".into(),
+            "<Split(',',3)>@[6, 7]".into(),
+        ];
+        assert_eq!(rendered, expected);
+        assert_eq!(cover.len(), 4);
+        assert!((cover.set_coverage() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -29,9 +29,19 @@
 //!   zero cloning) instead of a `HashSet<Unit>` of cloned units. Its
 //!   entries mirror the memo's `Bad` verdicts; it exists separately for
 //!   pre-scan cache locality (see `BadUnitSet`).
-//! * **Bitmap coverage.** Covered rows are reported as fixed-size
-//!   [`RowBitmap`]s, the representation the selection phase's set algebra
-//!   wants.
+//! * **Sparse coverage collection.** Covered rows are accumulated as sorted
+//!   per-candidate row lists (`Vec<u32>`), not as a dense
+//!   [`crate::bitmap::RowBitmap`] per candidate. A dense pre-allocation
+//!   costs `candidates × rows/8` bytes even though the overwhelming
+//!   majority of candidates cover nothing (at 10^6 candidates × 10^4 rows
+//!   that is ~1.25 GB); a sparse list costs one `Vec` header (24 bytes) for
+//!   an empty candidate and 4 bytes per covered row otherwise. Row-major
+//!   iteration appends rows in increasing order, so each list is sorted by
+//!   construction, and each worker thread accumulates the lists for its own
+//!   chunk of candidates. Densification into `RowBitmap`s — the
+//!   representation the selection phase's set algebra wants — happens in the
+//!   engine, only for candidates surviving the non-empty/support filter
+//!   (see [`crate::bitmap::RowBitmap::from_sorted_rows`]).
 //!
 //! The iteration order is row-major (rows outer, transformations inner) so
 //! the memo table is a single pool-sized vector reset per row via epoch
@@ -39,19 +49,24 @@
 //! *trials on the same row*, and those happen in transformation order in
 //! both orders, the reported `trials`, `cache_hits`, and covered rows are
 //! bit-identical to the naive transformation-major loop retained in
-//! [`reference`].
+//! [`reference`] — which still collects densely, making it the oracle for
+//! the sparse collection as well.
 
-use crate::bitmap::RowBitmap;
 use crate::pair::PairSet;
 use std::time::{Duration, Instant};
 use tjoin_units::{IdTransformation, Transformation, UnitId, UnitPool};
+
+/// A candidate's covered rows as a sorted list of row indices — the sparse
+/// per-chunk collection format (see the module docs).
+pub type SparseRows = Vec<u32>;
 
 /// The result of the coverage phase.
 #[derive(Debug, Clone, Default)]
 pub struct CoverageOutcome {
     /// For each transformation (same order as the input slice), the rows it
-    /// covers.
-    pub covered_rows: Vec<RowBitmap>,
+    /// covers, as a sorted sparse row list. Densify survivors with
+    /// [`crate::bitmap::RowBitmap::from_sorted_rows`].
+    pub covered_rows: Vec<SparseRows>,
     /// Number of (transformation, row) applications actually attempted.
     pub trials: u64,
     /// Number of (transformation, row) combinations skipped thanks to the
@@ -78,10 +93,10 @@ impl CoverageOutcome {
         }
     }
 
-    /// Covered rows as sorted index vectors (the legacy shape; handy in
-    /// tests and reports).
+    /// Covered rows as sorted index vectors (now the native shape; retained
+    /// for tests and reports written against the dense era's API).
     pub fn covered_rows_as_vecs(&self) -> Vec<Vec<u32>> {
-        self.covered_rows.iter().map(RowBitmap::to_vec).collect()
+        self.covered_rows.clone()
     }
 }
 
@@ -254,8 +269,9 @@ fn coverage_chunk_interned(
     use_cache: bool,
 ) -> CoverageOutcome {
     let rows = pairs.len();
-    let mut covered_rows: Vec<RowBitmap> =
-        transformations.iter().map(|_| RowBitmap::new(rows)).collect();
+    // Sparse per-chunk collection: one (initially unallocated) sorted row
+    // list per candidate — empty candidates never touch the heap.
+    let mut covered_rows: Vec<SparseRows> = vec![Vec::new(); transformations.len()];
     let mut trials: u64 = 0;
     let mut cache_hits: u64 = 0;
     let mut unit_evaluations: u64 = 0;
@@ -320,7 +336,9 @@ fn coverage_chunk_interned(
                 }
             }
             if !failed && buffer == target {
-                covered_rows[t_idx].insert(row);
+                // Row-major iteration: rows arrive in increasing order, so
+                // each candidate's list stays sorted by construction.
+                covered_rows[t_idx].push(row as u32);
             }
         }
     }
@@ -337,10 +355,12 @@ fn coverage_chunk_interned(
 
 pub mod reference {
     //! The naive transformation-major coverage loop the interned engine
-    //! replaced: hash-set unit cache, no output memoization, `Vec<u32>` row
-    //! lists. Retained as the differential-testing oracle (see
-    //! `tests/proptest_pipeline.rs`) and as the baseline leg of the
-    //! `coverage_interned` benchmark.
+    //! replaced: hash-set unit cache, no output memoization, and **dense**
+    //! per-candidate `RowBitmap` collection (converted to the sparse output
+    //! shape only at the edge). Retained as the differential-testing oracle
+    //! for both the memoized evaluation *and* the sparse collection (see
+    //! `tests/proptest_pipeline.rs` and the coverage tests below) and as the
+    //! baseline leg of the `coverage_interned` benchmark.
 
     use super::CoverageOutcome;
     use crate::bitmap::RowBitmap;
@@ -450,7 +470,7 @@ pub mod reference {
                     covered.insert(row);
                 }
             }
-            covered_rows.push(covered);
+            covered_rows.push(covered.to_vec());
         }
 
         CoverageOutcome {
@@ -616,6 +636,87 @@ mod tests {
             naive.unit_evaluations,
             interned.unit_evaluations
         );
+    }
+
+    mod sparse_differential {
+        //! Differential property tests: the interned engine's sparse
+        //! collection vs the reference's dense `RowBitmap` path, across
+        //! thread counts and cache toggles.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        fn any_unit() -> impl Strategy<Value = Unit> {
+            let pos = || 0usize..10;
+            let delim = || prop_oneof![Just(','), Just(' '), Just('-')];
+            prop_oneof![
+                (pos(), pos()).prop_map(|(a, b)| Unit::substr(a.min(b), a.max(b))),
+                (delim(), 0usize..3).prop_map(|(d, i)| Unit::split(d, i)),
+                (delim(), 0usize..3, pos(), pos())
+                    .prop_map(|(d, i, a, b)| Unit::split_substr(d, i, a.min(b), a.max(b))),
+                "[a-z, ]{0,3}".prop_map(Unit::literal),
+            ]
+        }
+
+        /// Transformations drawn from a small shared unit pool, so the same
+        /// units recur across candidates (the shape both the cache and the
+        /// memoization exploit).
+        fn pooled_transformations() -> impl Strategy<Value = Vec<Transformation>> {
+            (prop::collection::vec(any_unit(), 2..6), 0usize..300).prop_map(
+                |(pool, picks)| {
+                    let n = pool.len();
+                    (0..(picks % 30) + 1)
+                        .map(|t| {
+                            Transformation::new(
+                                (0..t % 3 + 1)
+                                    .map(|j| pool[(t * 5 + j * 2 + picks) % n].clone())
+                                    .collect(),
+                            )
+                        })
+                        .collect()
+                },
+            )
+        }
+
+        fn random_rows() -> impl Strategy<Value = Vec<(String, String)>> {
+            prop::collection::vec(("[a-z, -]{0,12}", "[a-z, -]{0,8}"), 1..6)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// The sparse-collection engine reports exactly the same sorted
+            /// row lists and pruning statistics as the dense reference path,
+            /// sequentially and with 4-thread chunking, cache on and off.
+            #[test]
+            fn sparse_collection_matches_dense_reference(
+                ts in pooled_transformations(),
+                rows in random_rows(),
+                use_cache in prop_oneof![Just(true), Just(false)],
+            ) {
+                let set = pairs_from(&rows);
+                for threads in [1usize, 4] {
+                    let sparse = compute_coverage(&ts, &set, use_cache, threads);
+                    let dense = compute_coverage_reference(&ts, &set, use_cache, threads);
+                    prop_assert_eq!(
+                        &sparse.covered_rows, &dense.covered_rows,
+                        "covered rows diverged (cache={}, threads={})", use_cache, threads
+                    );
+                    prop_assert_eq!(sparse.trials, dense.trials);
+                    prop_assert_eq!(sparse.cache_hits, dense.cache_hits);
+                    prop_assert_eq!(sparse.potential_trials, dense.potential_trials);
+                    // Every sparse list must be strictly sorted — the
+                    // contract `RowBitmap::from_sorted_rows` densifies under.
+                    for list in &sparse.covered_rows {
+                        prop_assert!(list.windows(2).all(|w| w[0] < w[1]));
+                    }
+                }
+            }
+        }
+
+        fn pairs_from(rows: &[(String, String)]) -> PairSet {
+            PairSet::from_strings(rows, &NormalizeOptions::none())
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The synthesis engine: ties the phases together (Section 4.1 end to end).
 
+use crate::bitmap::RowBitmap;
 use crate::config::SynthesisConfig;
-use crate::cover::{filter_candidates, greedy_cover, top_k, ScoredTransformation};
+use crate::cover::{lazy_greedy_cover, min_rows_for_support, top_k, ScoredTransformation};
 use crate::coverage::compute_coverage_interned;
 use crate::generate::generate_transformations;
 use crate::pair::PairSet;
@@ -98,23 +99,30 @@ impl SynthesisEngine {
             self.config.threads,
         );
 
-        // Phase 5: selection. Coverage bitmaps are moved into the scoring
-        // stage; only candidates that covered at least one row are
-        // materialized back into owned transformations.
+        // Phase 5: selection. Coverage arrives as sparse sorted row lists;
+        // the support and all-literal filters run on the sparse form (a
+        // length check plus a pooled unit-kind scan), and only the
+        // survivors are densified into bitmaps and materialized back into
+        // owned transformations. The mostly-empty candidate majority never
+        // allocates a bitmap.
         let select_start = Instant::now();
-        let scored: Vec<ScoredTransformation> = generation
+        let rows_used = working.len();
+        let min_rows = min_rows_for_support(rows_used, self.config.min_support);
+        let candidates: Vec<ScoredTransformation> = generation
             .transformations
             .iter()
             .zip(coverage.covered_rows)
-            .filter(|(_, covered)| !covered.is_empty())
-            .map(|(t, covered)| ScoredTransformation {
+            .filter(|(t, rows)| {
+                rows.len() >= min_rows
+                    && !(rows.len() <= 1 && t.is_all_literal(&generation.pool))
+            })
+            .map(|(t, rows)| ScoredTransformation {
                 transformation: generation.pool.resolve(t),
-                covered,
+                covered: RowBitmap::from_sorted_rows(rows_used, &rows),
             })
             .collect();
-        let candidates = filter_candidates(scored, working.len(), self.config.min_support);
         let top = top_k(&candidates, self.config.top_k);
-        let cover = greedy_cover(candidates, working.len());
+        let cover = lazy_greedy_cover(candidates, rows_used);
         let cover_selection = select_start.elapsed();
 
         let stats = SynthesisStats {

@@ -51,15 +51,38 @@
 //!   not to help a row (strategy 2, the 50–99 % hit ratios of Table 4) is a
 //!   dense epoch-stamped array indexed by `UnitId` — O(1), no hashing, no
 //!   unit clones.
-//! * **Bitmap coverage** ([`bitmap::RowBitmap`]): covered rows flow into
-//!   selection ([`cover`]) as fixed-size bitmaps, turning the greedy set
-//!   cover's marginal-gain computation into word-wise AND-NOT + popcount,
-//!   and results are moved (not cloned) from coverage into selection.
+//! * **Sparse coverage collection** ([`coverage`]): covered rows are
+//!   accumulated as sorted per-candidate row lists instead of a dense
+//!   [`bitmap::RowBitmap`] per candidate (which would cost
+//!   `candidates × rows/8` bytes up front — ~1.25 GB at 10^6 candidates ×
+//!   10^4 rows — even though most candidates cover nothing). Only the
+//!   candidates surviving the non-empty/support filter are densified, via
+//!   [`bitmap::RowBitmap::from_sorted_rows`], into the fixed-size bitmaps
+//!   the selection phase's set algebra wants, and results are moved (not
+//!   cloned) from coverage into selection.
+//!
+//! ## Lazy-greedy selection
+//!
+//! Selection ([`cover`]) runs the paper's greedy set cover as a CELF-style
+//! **lazy-greedy priority queue**: every candidate's last known marginal
+//! gain sits in a max-heap, and each round re-evaluates only the entries
+//! that surface at the top until the top entry's gain is confirmed fresh.
+//! Stale heap entries are safe — marginal gain is submodular (the covered
+//! set only grows, so true gains only shrink), which makes every cached
+//! gain an *upper bound*; a confirmed-fresh top therefore dominates every
+//! other candidate's true gain and is the exact argmax, not an
+//! approximation. Tie-breaks (gain, then fewer units, then lexicographic,
+//! then input order) keep heap comparisons integer-only — the lexicographic
+//! leg is resolved at pop time over the fresh tie group, with rendered
+//! strings memoized per candidate. The full-rescan loop is retained in
+//! [`cover::reference`] as the selection oracle.
 //!
 //! All observable results — covered rows, trial counts, cache-hit
-//! accounting — are bit-identical to the naive per-row trial loop, which is
-//! retained in [`coverage::reference`] as a differential-testing oracle and
-//! benchmark baseline.
+//! accounting, selected covering sets and their order — are bit-identical
+//! to the naive loops retained in [`coverage::reference`] and
+//! [`cover::reference`] as differential-testing oracles and benchmark
+//! baselines (see `tests/proptest_selection.rs` and the `selection`
+//! benchmark's `BENCH_selection.json`).
 //!
 //! ```
 //! use tjoin_core::{SynthesisConfig, SynthesisEngine};
