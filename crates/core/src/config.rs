@@ -1,5 +1,6 @@
 //! Synthesis engine configuration.
 
+use crate::coverage::plan::CoverageAxis;
 use serde::{Deserialize, Serialize};
 use tjoin_text::NormalizeOptions;
 use tjoin_units::UnitKind;
@@ -50,6 +51,11 @@ pub struct SynthesisConfig {
     pub normalize: NormalizeOptions,
     /// Number of worker threads for the coverage phase (1 = sequential).
     pub threads: usize,
+    /// Which axis of the coverage matrix parallel execution chunks across
+    /// threads: transformations, rows, or (the default) whatever the
+    /// planner picks from the shape — see
+    /// [`crate::coverage::plan::plan_execution`].
+    pub coverage_axis: CoverageAxis,
     /// How many of the highest-coverage transformations to report.
     pub top_k: usize,
 }
@@ -70,6 +76,7 @@ impl Default for SynthesisConfig {
             max_transformations_per_row: 10_000,
             normalize: NormalizeOptions::default(),
             threads: 1,
+            coverage_axis: CoverageAxis::Auto,
             top_k: 10,
         }
     }
@@ -128,6 +135,12 @@ impl SynthesisConfig {
         self
     }
 
+    /// Builder-style setter for the parallel coverage axis.
+    pub fn with_coverage_axis(mut self, axis: CoverageAxis) -> Self {
+        self.coverage_axis = axis;
+        self
+    }
+
     /// Whether a unit kind is enabled.
     pub fn kind_enabled(&self, kind: UnitKind) -> bool {
         kind == UnitKind::Literal || self.unit_kinds.contains(&kind)
@@ -159,6 +172,7 @@ mod tests {
     fn default_matches_paper_setup() {
         let c = SynthesisConfig::default();
         assert_eq!(c.max_placeholders, 3);
+        assert_eq!(c.coverage_axis, CoverageAxis::Auto);
         assert!(c.deduplicate && c.unit_cache && c.resplit_placeholders);
         assert!(c.kind_enabled(UnitKind::Substr));
         assert!(c.kind_enabled(UnitKind::Split));
@@ -184,11 +198,13 @@ mod tests {
             .with_max_placeholders(2)
             .with_sample(100, 7)
             .with_min_support(0.05)
-            .with_threads(0);
+            .with_threads(0)
+            .with_coverage_axis(CoverageAxis::Rows);
         assert_eq!(c.max_placeholders, 2);
         assert_eq!(c.sample_size, Some(100));
         assert_eq!(c.sample_seed, 7);
         assert_eq!(c.threads, 1); // clamped to at least one
+        assert_eq!(c.coverage_axis, CoverageAxis::Rows);
         c.validate();
     }
 

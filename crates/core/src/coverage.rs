@@ -51,10 +51,183 @@
 //! bit-identical to the naive transformation-major loop retained in
 //! [`reference`] — which still collects densely, making it the oracle for
 //! the sparse collection as well.
+//!
+//! # Planned parallel execution
+//!
+//! Parallel coverage runs as a two-phase *planned* execution chosen by
+//! [`plan::plan_execution`] from the transformations × rows shape (and the
+//! [`plan::CoverageAxis`] config knob):
+//!
+//! 1. **Shared unit-output memo** ([`SharedUnitMemo`]): every distinct
+//!    [`UnitId`] referenced by the candidate list is evaluated exactly once
+//!    per row into a write-once table — built in parallel, sharded by
+//!    unit-id range across threads, then frozen behind a shared reference.
+//!    Worker threads *read* unit outputs instead of each lazily re-deriving
+//!    them, so the engine performs exactly
+//!    `rows × referenced units` evaluations at any thread count, where the
+//!    pre-planner parallel path (retained as
+//!    [`compute_coverage_interned_per_thread`]) pays up to that *per
+//!    worker*. The memo's entry table is bounded by
+//!    [`SHARED_MEMO_BUDGET_BYTES`]: an over-budget shape runs the same
+//!    chunked scan over lazy per-worker memos instead (identical covered
+//!    rows and trial/hit accounting; only `unit_evaluations` reverts to
+//!    lazy counting).
+//! 2. **Axis scan** ([`plan::ExecutionPlan`]): the coverage matrix is
+//!    chunked either along the transformation axis (each worker scans a
+//!    candidate chunk over all rows — best when candidates vastly outnumber
+//!    rows) or along the row axis (each worker scans all candidates over a
+//!    contiguous row chunk — best for few-transformations × many-rows
+//!    workloads, where transformation chunking degenerates). Row chunks are
+//!    disjoint and ordered, so per-candidate sparse row lists from
+//!    consecutive chunks concatenate without merging and stay sorted.
+//!
+//! ## Stats semantics under the shared memo
+//!
+//! * `covered_rows` is bit-identical to [`reference`] under every plan —
+//!   the memo stores exactly the verdicts the lazy engine would derive.
+//! * `trials` / `cache_hits` keep the *incremental* per-row cache
+//!   semantics: a unit enters a row's bad-unit cache only when a trial on
+//!   that row reaches it, never "from the future" via the memo. Row-axis
+//!   scans process every row's full transformation sequence in order, so
+//!   their trial/hit counts are bit-identical to the serial engine (and to
+//!   [`reference`] at `threads = 1`) **at any thread count**;
+//!   transformation-axis scans restart the cache per chunk, matching
+//!   [`reference`] at the same thread count (the pre-planner semantics).
+//! * `unit_evaluations` counts memo-build work for shared-memo plans:
+//!   exactly `rows × referenced units`, independent of thread count and
+//!   axis — the bound the serial lazy engine approaches from below.
 
 use crate::pair::PairSet;
+use plan::{CoverageAxis, ExecutionPlan};
+use std::ops::Range;
 use std::time::{Duration, Instant};
 use tjoin_units::{IdTransformation, Transformation, UnitId, UnitPool};
+
+pub mod plan {
+    //! The coverage execution planner.
+    //!
+    //! Coverage is a `transformations × rows` matrix scan; either axis can
+    //! be chunked across worker threads. The planner picks the axis from
+    //! the matrix shape: transformation chunking degenerates when
+    //! candidates are few (a GXJoin-style generalized-pattern pool of a few
+    //! dozen patterns over 10^5+ rows leaves every thread but one idle),
+    //! and row chunking is pointless when rows are few. [`plan_execution`]
+    //! resolves the configured [`CoverageAxis`] plus the shape into an
+    //! [`ExecutionPlan`]; degenerate shapes (zero or one chunk, empty
+    //! inputs) always resolve to [`ExecutionPlan::Serial`], so no plan ever
+    //! divides by a zero chunk size.
+
+    use serde::{Deserialize, Serialize};
+
+    /// Which axis of the coverage matrix parallel execution chunks across
+    /// worker threads (the `coverage_axis` knob of
+    /// [`crate::SynthesisConfig`]).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+    pub enum CoverageAxis {
+        /// Let the planner pick from the transformations × rows shape
+        /// (the default).
+        #[default]
+        Auto,
+        /// Force transformation-axis chunking (each worker takes a
+        /// contiguous candidate chunk over all rows).
+        Transformations,
+        /// Force row-axis chunking (each worker takes a contiguous row
+        /// chunk over all candidates).
+        Rows,
+    }
+
+    /// A resolved coverage execution plan.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ExecutionPlan {
+        /// Single-threaded scan with the lazy per-row memo — also the
+        /// explicit degenerate path (empty candidate list, zero rows, one
+        /// thread, or a shape where chunking would leave one worker).
+        Serial,
+        /// Transformation-axis chunking: `workers` threads each scan a
+        /// contiguous chunk of at most `chunk_size` candidates over all
+        /// rows, sharing the unit-output memo.
+        Transformations {
+            /// Number of chunks actually spawned (`≥ 2`).
+            workers: usize,
+            /// Candidates per chunk (`≥ 1`; the last chunk may be short).
+            chunk_size: usize,
+        },
+        /// Row-axis chunking: `workers` threads each scan all candidates
+        /// over a contiguous chunk of at most `chunk_size` rows, sharing
+        /// the unit-output memo.
+        Rows {
+            /// Number of chunks actually spawned (`≥ 2`).
+            workers: usize,
+            /// Rows per chunk (`≥ 1`; the last chunk may be short).
+            chunk_size: usize,
+        },
+    }
+
+    /// `Auto` considers transformation-axis chunking only at or above this
+    /// many candidates (the historical threshold of the pre-planner
+    /// engine: below it, per-chunk cache restarts and thread bookkeeping
+    /// cost more than they buy). Forced axes ignore it.
+    pub const MIN_AUTO_TRANSFORMATIONS: usize = 256;
+
+    /// `Auto` considers row-axis chunking only at or above this many rows.
+    /// Forced axes ignore it.
+    pub const MIN_AUTO_ROWS: usize = 256;
+
+    /// Resolves the configured axis and the `transformations × rows` shape
+    /// into an execution plan for `threads` worker threads.
+    ///
+    /// Guarantees: the returned chunk size is never zero, the worker count
+    /// never exceeds the chunked dimension, and degenerate shapes (either
+    /// dimension zero, `threads <= 1`, or a single chunk) resolve to
+    /// [`ExecutionPlan::Serial`]. `Auto` prefers the transformation axis
+    /// when candidates are plentiful and at least as numerous as rows —
+    /// preserving the pre-planner behavior (and its exact trial/hit
+    /// accounting) on the shapes it already handled — and otherwise falls
+    /// back to the row axis when rows are plentiful.
+    pub fn plan_execution(
+        transformations: usize,
+        rows: usize,
+        threads: usize,
+        axis: CoverageAxis,
+    ) -> ExecutionPlan {
+        if transformations == 0 || rows == 0 || threads <= 1 {
+            return ExecutionPlan::Serial;
+        }
+        match axis {
+            CoverageAxis::Transformations => transformation_axis(transformations, threads),
+            CoverageAxis::Rows => row_axis(rows, threads),
+            CoverageAxis::Auto => {
+                if transformations >= MIN_AUTO_TRANSFORMATIONS && transformations >= rows {
+                    transformation_axis(transformations, threads)
+                } else if rows >= MIN_AUTO_ROWS {
+                    row_axis(rows, threads)
+                } else {
+                    ExecutionPlan::Serial
+                }
+            }
+        }
+    }
+
+    fn transformation_axis(transformations: usize, threads: usize) -> ExecutionPlan {
+        let chunk_size = transformations.div_ceil(threads.min(transformations));
+        let workers = transformations.div_ceil(chunk_size);
+        if workers <= 1 {
+            ExecutionPlan::Serial
+        } else {
+            ExecutionPlan::Transformations { workers, chunk_size }
+        }
+    }
+
+    fn row_axis(rows: usize, threads: usize) -> ExecutionPlan {
+        let chunk_size = rows.div_ceil(threads.min(rows));
+        let workers = rows.div_ceil(chunk_size);
+        if workers <= 1 {
+            ExecutionPlan::Serial
+        } else {
+            ExecutionPlan::Rows { workers, chunk_size }
+        }
+    }
+}
 
 /// A candidate's covered rows as a sorted list of row indices — the sparse
 /// per-chunk collection format (see the module docs).
@@ -74,9 +247,12 @@ pub struct CoverageOutcome {
     pub cache_hits: u64,
     /// `transformations × rows`: what a pruning-free evaluation would cost.
     pub potential_trials: u64,
-    /// Number of `Unit::output_on` evaluations performed. With memoization
-    /// this is bounded by `rows × distinct units` per worker thread; the
-    /// naive reference instead pays one evaluation per unit application.
+    /// Number of `Unit::output_on` evaluations performed. The serial lazy
+    /// engine stays below `rows × distinct units`; shared-memo parallel
+    /// plans perform exactly `rows × referenced units` (at any thread
+    /// count — see the module docs); the retained per-thread path pays up
+    /// to the lazy bound per worker; and the naive reference pays one
+    /// evaluation per unit application.
     pub unit_evaluations: u64,
     /// Wall-clock time spent applying transformations.
     pub apply_time: Duration,
@@ -108,10 +284,10 @@ impl CoverageOutcome {
 /// [`compute_coverage_interned`] directly and skip the re-interning.
 ///
 /// `use_cache` toggles the non-covering-unit cache (pruning strategy 2);
-/// `threads` > 1 splits the transformation list across worker threads, each
-/// with its own per-row caches and memo tables (the statistics are summed,
-/// so hit counts are slightly lower than a shared cache would achieve but
-/// results are identical).
+/// `threads` > 1 hands the scan to the execution planner with
+/// [`CoverageAxis::Auto`] (see the module docs: a shared unit-output memo
+/// plus chunking along whichever matrix axis the shape favors; covered rows
+/// are identical under every plan).
 pub fn compute_coverage(
     transformations: &[Transformation],
     pairs: &PairSet,
@@ -128,13 +304,247 @@ pub fn compute_coverage(
     compute_coverage_interned(&pool, &interned, pairs, use_cache, threads)
 }
 
-/// Computes coverage over pre-interned transformations (the hot path).
+/// Computes coverage over pre-interned transformations with automatic axis
+/// planning (equivalent to [`compute_coverage_planned`] with
+/// [`CoverageAxis::Auto`]).
 ///
-/// See the module docs for the memoization/bitset design. Every observable
-/// result (`covered_rows`, `trials`, `cache_hits`, `potential_trials`) is
-/// bit-identical to [`reference::compute_coverage_reference`] with the same
-/// arguments.
+/// See the module docs for the memoization/bitset design. `covered_rows`
+/// and `potential_trials` are bit-identical to
+/// [`reference::compute_coverage_reference`] with the same arguments under
+/// every plan; see the module docs for the trial/hit and evaluation
+/// semantics of parallel plans.
 pub fn compute_coverage_interned(
+    pool: &UnitPool,
+    transformations: &[IdTransformation],
+    pairs: &PairSet,
+    use_cache: bool,
+    threads: usize,
+) -> CoverageOutcome {
+    compute_coverage_planned(pool, transformations, pairs, use_cache, threads, CoverageAxis::Auto)
+}
+
+/// Resident-size budget for the shared unit-output memo: `referenced units
+/// × rows` entries, each charged `size_of::<SharedEntry>()` plus
+/// [`MEMO_ENTRY_PAYLOAD_ESTIMATE`] bytes for the `Good` variant's heap
+/// string (an estimate — unit outputs are short source fragments, and
+/// `Bad` entries carry none, so the charge is conservative for typical
+/// mixes but not an exact bound). A plan whose estimated memo would exceed
+/// the budget falls back to *lazy* per-worker memos — covered rows and
+/// trial/hit accounting are identical (the scan loop is shared and the
+/// verdicts agree by construction), only `unit_evaluations` reverts to the
+/// lazy counting — so parallel coverage never eagerly allocates a table
+/// far larger than anything the serial engine would hold.
+pub const SHARED_MEMO_BUDGET_BYTES: usize = 256 << 20;
+
+/// Per-entry heap-payload charge used by the memo budget (covers a short
+/// `Good` output plus allocator overhead, averaged over the `Bad` entries
+/// that carry none).
+const MEMO_ENTRY_PAYLOAD_ESTIMATE: usize = 16;
+
+/// Computes coverage as a planned two-phase execution (the hot path): a
+/// shared unit-output memo build followed by a chunked scan along the axis
+/// [`plan::plan_execution`] resolves from the shape and the requested
+/// `axis`. Plans whose memo would exceed [`SHARED_MEMO_BUDGET_BYTES`] run
+/// the same chunked scan over lazy per-worker memos instead.
+pub fn compute_coverage_planned(
+    pool: &UnitPool,
+    transformations: &[IdTransformation],
+    pairs: &PairSet,
+    use_cache: bool,
+    threads: usize,
+    axis: CoverageAxis,
+) -> CoverageOutcome {
+    compute_coverage_planned_impl(
+        pool,
+        transformations,
+        pairs,
+        use_cache,
+        threads,
+        axis,
+        SHARED_MEMO_BUDGET_BYTES,
+    )
+}
+
+/// Whether a shared memo of `referenced` columns × `rows` entries fits the
+/// byte budget (overflow-safe).
+fn shared_memo_fits(referenced: usize, rows: usize, budget_bytes: usize) -> bool {
+    referenced
+        .checked_mul(rows)
+        .and_then(|entries| {
+            entries.checked_mul(std::mem::size_of::<SharedEntry>() + MEMO_ENTRY_PAYLOAD_ESTIMATE)
+        })
+        .is_some_and(|bytes| bytes <= budget_bytes)
+}
+
+fn compute_coverage_planned_impl(
+    pool: &UnitPool,
+    transformations: &[IdTransformation],
+    pairs: &PairSet,
+    use_cache: bool,
+    threads: usize,
+    axis: CoverageAxis,
+    memo_budget_bytes: usize,
+) -> CoverageOutcome {
+    let start = Instant::now();
+    let rows = pairs.len();
+    // Explicit degenerate path: an empty candidate list or an empty pair
+    // set produces the (trivially correct) empty outcome before any chunk
+    // arithmetic. `plan_execution` also resolves these shapes to `Serial`,
+    // but returning here keeps the invariant visible at the entry point —
+    // no plan ever divides by a zero dimension.
+    if transformations.is_empty() || rows == 0 {
+        return CoverageOutcome {
+            covered_rows: vec![Vec::new(); transformations.len()],
+            apply_time: start.elapsed(),
+            ..CoverageOutcome::default()
+        };
+    }
+    let potential_trials = transformations.len() as u64 * rows as u64;
+    let mut outcome = match plan::plan_execution(transformations.len(), rows, threads, axis) {
+        ExecutionPlan::Serial => coverage_chunk_interned(pool, transformations, pairs, use_cache),
+        ExecutionPlan::Transformations { workers, chunk_size } => {
+            let memo =
+                build_memo_within_budget(pool, transformations, pairs, workers, memo_budget_bytes);
+            let jobs: Vec<ScanJob<'_>> =
+                transformations.chunks(chunk_size).map(|chunk| (chunk, 0..rows)).collect();
+            let results = run_scans(memo.as_ref(), pool, pairs, use_cache, jobs);
+            let mut covered_rows = Vec::with_capacity(transformations.len());
+            let (mut trials, mut cache_hits, mut lazy_evaluations) = (0u64, 0u64, 0u64);
+            for r in results {
+                covered_rows.extend(r.covered);
+                trials += r.trials;
+                cache_hits += r.cache_hits;
+                lazy_evaluations += r.evaluations;
+            }
+            CoverageOutcome {
+                covered_rows,
+                trials,
+                cache_hits,
+                potential_trials: 0, // set below for all plans
+                unit_evaluations: memo.map_or(lazy_evaluations, |m| m.evaluations),
+                apply_time: Duration::ZERO,
+            }
+        }
+        ExecutionPlan::Rows { workers, chunk_size } => {
+            let memo =
+                build_memo_within_budget(pool, transformations, pairs, workers, memo_budget_bytes);
+            let jobs: Vec<ScanJob<'_>> = (0..workers)
+                .map(|w| (transformations, w * chunk_size..rows.min((w + 1) * chunk_size)))
+                .filter(|(_, range)| !range.is_empty())
+                .collect();
+            let results = run_scans(memo.as_ref(), pool, pairs, use_cache, jobs);
+            // Row chunks are disjoint and processed in ascending order, so
+            // each candidate's per-chunk sorted lists concatenate — in
+            // chunk order — into the globally sorted list with no merging.
+            let mut covered_rows: Vec<SparseRows> = vec![Vec::new(); transformations.len()];
+            let (mut trials, mut cache_hits, mut lazy_evaluations) = (0u64, 0u64, 0u64);
+            for r in results {
+                trials += r.trials;
+                cache_hits += r.cache_hits;
+                lazy_evaluations += r.evaluations;
+                for (t_idx, list) in r.covered.into_iter().enumerate() {
+                    if covered_rows[t_idx].is_empty() {
+                        covered_rows[t_idx] = list;
+                    } else {
+                        covered_rows[t_idx].extend(list);
+                    }
+                }
+            }
+            CoverageOutcome {
+                covered_rows,
+                trials,
+                cache_hits,
+                potential_trials: 0, // set below for all plans
+                unit_evaluations: memo.map_or(lazy_evaluations, |m| m.evaluations),
+                apply_time: Duration::ZERO,
+            }
+        }
+    };
+    outcome.potential_trials = potential_trials;
+    outcome.apply_time = start.elapsed();
+    outcome
+}
+
+/// One worker's rectangle of the coverage matrix: a candidate chunk and a
+/// row range.
+type ScanJob<'a> = (&'a [IdTransformation], Range<usize>);
+
+/// Spawns one scoped worker per job and collects results in job order.
+fn run_scans(
+    memo: Option<&SharedUnitMemo>,
+    pool: &UnitPool,
+    pairs: &PairSet,
+    use_cache: bool,
+    jobs: Vec<ScanJob<'_>>,
+) -> Vec<ScanResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(chunk, range)| {
+                scope.spawn(move || run_scan(memo, pool, chunk, pairs, range, use_cache))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("coverage worker panicked")).collect()
+    })
+}
+
+/// Builds the shared memo when its entry table fits the byte budget;
+/// `None` selects the lazy per-worker fallback.
+fn build_memo_within_budget(
+    pool: &UnitPool,
+    transformations: &[IdTransformation],
+    pairs: &PairSet,
+    workers: usize,
+    memo_budget_bytes: usize,
+) -> Option<SharedUnitMemo> {
+    let ids = pool.referenced_ids(transformations);
+    shared_memo_fits(ids.len(), pairs.len(), memo_budget_bytes)
+        .then(|| SharedUnitMemo::build(pool, ids, pairs, workers))
+}
+
+/// Runs one worker's scan with the shared memo when available, or a fresh
+/// lazy per-worker memo otherwise.
+fn run_scan(
+    memo: Option<&SharedUnitMemo>,
+    pool: &UnitPool,
+    transformations: &[IdTransformation],
+    pairs: &PairSet,
+    row_range: Range<usize>,
+    use_cache: bool,
+) -> ScanResult {
+    match memo {
+        Some(memo) => coverage_scan(
+            &mut SharedVerdicts { memo },
+            transformations,
+            pairs,
+            row_range,
+            use_cache,
+            pool.len(),
+        ),
+        None => coverage_scan(
+            &mut LazyVerdicts::new(pool, pairs),
+            transformations,
+            pairs,
+            row_range,
+            use_cache,
+            pool.len(),
+        ),
+    }
+}
+
+/// The pre-planner parallel path: transformation-axis chunking where every
+/// worker keeps its own *lazy* per-row memo, re-evaluating units shared
+/// across chunks once per worker (up to `rows × distinct units` per
+/// thread). Falls back to the serial scan below 256 candidates, exactly as
+/// the pre-planner engine did.
+///
+/// Retained as the "per-thread memo" baseline leg of the `memo_sharing`
+/// benchmark and as a differential midpoint between
+/// [`reference::compute_coverage_reference`] and the shared-memo plans; its
+/// `trials`/`cache_hits`/`covered_rows` are bit-identical to the reference
+/// at the same thread count. Production callers use
+/// [`compute_coverage_planned`].
+pub fn compute_coverage_interned_per_thread(
     pool: &UnitPool,
     transformations: &[IdTransformation],
     pairs: &PairSet,
@@ -262,32 +672,247 @@ impl BadUnitSet {
     }
 }
 
-fn coverage_chunk_interned(
-    pool: &UnitPool,
+/// One frozen `(row, unit)` verdict in the shared memo. Unlike
+/// [`MemoEntry`] there is no `Unknown`: the build phase evaluates every
+/// referenced `(row, unit)` pair eagerly, so scans never evaluate.
+enum SharedEntry {
+    /// The unit does not apply to the row's source, or its (non-empty)
+    /// output is not a substring of the row's target.
+    Bad,
+    /// The unit's output, which occurs in the row's target (or is empty).
+    Good(Box<str>),
+}
+
+/// Marker in [`SharedUnitMemo::column_of_unit`] for pool entries no
+/// candidate references (never looked up by scans).
+const NO_COLUMN: u32 = u32::MAX;
+
+/// Phase 1 of a planned parallel execution: the write-once unit-output memo
+/// shared by all scan workers.
+///
+/// The memo's domain is the distinct units *referenced* by the candidate
+/// list ([`UnitPool::referenced_ids`]), one column per unit in ascending id
+/// order, one entry per row. The build is itself parallel — columns are
+/// sharded by unit-id range across the plan's worker threads, each shard
+/// evaluated independently — and the result is frozen (moved behind a
+/// shared reference) before any scan thread starts, so scans read it
+/// without synchronization. Exactly `rows × referenced units` evaluations
+/// are performed, at any thread count.
+struct SharedUnitMemo {
+    /// Memo columns in ascending unit-id order; `columns[c][row]` is the
+    /// verdict for the unit assigned column `c`.
+    columns: Vec<Vec<SharedEntry>>,
+    /// `UnitId` index → column index (`NO_COLUMN` for unreferenced units).
+    column_of_unit: Vec<u32>,
+    /// `Unit::output_on` evaluations performed by the build:
+    /// `rows × referenced units`.
+    evaluations: u64,
+}
+
+impl SharedUnitMemo {
+    fn build(pool: &UnitPool, ids: Vec<UnitId>, pairs: &PairSet, threads: usize) -> Self {
+        let rows = pairs.len();
+        let mut column_of_unit = vec![NO_COLUMN; pool.len()];
+        for (col, id) in ids.iter().enumerate() {
+            column_of_unit[id.index()] = col as u32;
+        }
+        let shard_size = ids.len().div_ceil(threads.min(ids.len()).max(1)).max(1);
+        let columns: Vec<Vec<SharedEntry>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks(shard_size)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|&id| {
+                                let unit = pool.get(id);
+                                (0..rows)
+                                    .map(|row| {
+                                        match unit.output_on(pairs.source(row)) {
+                                            Some(out)
+                                                if out.is_empty()
+                                                    || pairs
+                                                        .target(row)
+                                                        .contains(out.as_ref()) =>
+                                            {
+                                                SharedEntry::Good(
+                                                    out.into_owned().into_boxed_str(),
+                                                )
+                                            }
+                                            _ => SharedEntry::Bad,
+                                        }
+                                    })
+                                    .collect::<Vec<SharedEntry>>()
+                            })
+                            .collect::<Vec<Vec<SharedEntry>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("memo build worker panicked"))
+                .collect()
+        });
+        Self {
+            columns,
+            column_of_unit,
+            evaluations: (ids.len() * rows) as u64,
+        }
+    }
+
+    #[inline]
+    fn entry(&self, unit: UnitId, row: usize) -> &SharedEntry {
+        &self.columns[self.column_of_unit[unit.index()] as usize][row]
+    }
+}
+
+/// A scan worker's share of the coverage matrix.
+struct ScanResult {
+    /// Per candidate (in the worker's candidate order), the covered rows of
+    /// the worker's row range, as global row indices, sorted.
+    covered: Vec<SparseRows>,
+    trials: u64,
+    cache_hits: u64,
+    /// `Unit::output_on` evaluations performed by the worker's verdict
+    /// source (zero for frozen shared-memo scans, whose evaluations were
+    /// counted at build time).
+    evaluations: u64,
+}
+
+/// A per-`(row, unit)` verdict, ready for the scan loop: concatenable
+/// output, or known non-covering.
+enum Verdict<'a> {
+    Bad,
+    Good(&'a str),
+}
+
+/// Where the scan loop gets unit verdicts from.
+///
+/// Implementations must agree with the `(row, unit)` classification of
+/// [`reference`]: `Bad` exactly when the unit does not apply to the row's
+/// source or its non-empty output is not a substring of the row's target.
+/// Keeping a *single* scan loop ([`coverage_scan`]) generic over this trait
+/// is what makes the serial, per-thread, and shared-memo engines
+/// bit-identical by construction — there is no second copy of the trial /
+/// cache-hit / length-abandon logic to drift.
+trait UnitVerdicts {
+    /// Called once when the scan moves to `row`, before any verdict for it.
+    fn begin_row(&mut self, row: usize);
+    /// The verdict for `unit` on `row` (evaluating and memoizing lazily if
+    /// this source does so). Only called for the row most recently passed
+    /// to [`Self::begin_row`].
+    fn verdict(&mut self, unit: UnitId, row: usize) -> Verdict<'_>;
+    /// `Unit::output_on` evaluations this source has performed so far.
+    fn evaluations(&self) -> u64;
+}
+
+/// Lazy verdicts: evaluate on first use, memoized per row in an
+/// epoch-stamped pool-sized table — the serial engine's (and the per-thread
+/// path's, and the over-budget fallback's) source.
+struct LazyVerdicts<'a> {
+    pool: &'a UnitPool,
+    pairs: &'a PairSet,
+    memo: RowMemo,
+    evaluations: u64,
+}
+
+impl<'a> LazyVerdicts<'a> {
+    fn new(pool: &'a UnitPool, pairs: &'a PairSet) -> Self {
+        Self {
+            pool,
+            pairs,
+            memo: RowMemo::new(pool.len()),
+            evaluations: 0,
+        }
+    }
+}
+
+impl UnitVerdicts for LazyVerdicts<'_> {
+    fn begin_row(&mut self, _row: usize) {
+        self.memo.next_row();
+    }
+
+    #[inline]
+    fn verdict(&mut self, unit: UnitId, row: usize) -> Verdict<'_> {
+        // Evaluate the unit on this row at most once, memoizing both the
+        // output and the substring-of-target verdict.
+        if matches!(self.memo.get(unit), MemoEntry::Unknown) {
+            self.evaluations += 1;
+            let entry = match self.pool.get(unit).output_on(self.pairs.source(row)) {
+                Some(out) if out.is_empty() || self.pairs.target(row).contains(out.as_ref()) => {
+                    MemoEntry::Good(out.into_owned().into_boxed_str())
+                }
+                _ => MemoEntry::Bad,
+            };
+            self.memo.set(unit, entry);
+        }
+        match self.memo.get(unit) {
+            MemoEntry::Good(out) => Verdict::Good(out),
+            MemoEntry::Bad => Verdict::Bad,
+            MemoEntry::Unknown => unreachable!("memo entry was just filled"),
+        }
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+/// Frozen shared-memo verdicts: pure lookups, no evaluation (phase 2 of a
+/// planned parallel execution reads the table phase 1 built).
+struct SharedVerdicts<'a> {
+    memo: &'a SharedUnitMemo,
+}
+
+impl UnitVerdicts for SharedVerdicts<'_> {
+    fn begin_row(&mut self, _row: usize) {}
+
+    #[inline]
+    fn verdict(&mut self, unit: UnitId, row: usize) -> Verdict<'_> {
+        match self.memo.entry(unit, row) {
+            SharedEntry::Good(out) => Verdict::Good(out),
+            SharedEntry::Bad => Verdict::Bad,
+        }
+    }
+
+    fn evaluations(&self) -> u64 {
+        0
+    }
+}
+
+/// The one scan loop of the interned engine: covers `transformations` ×
+/// `row_range`, with verdicts from `source`.
+///
+/// Serves every execution shape — the serial engine passes all candidates
+/// with the full row range and a lazy source; a transformation-axis worker
+/// passes its candidate chunk with the full row range; a row-axis worker
+/// passes all candidates with its row chunk. The per-row bad-unit cache
+/// keeps the *incremental* semantics of the naive loop — a unit is
+/// inserted only when a trial on that row reaches it, never "from the
+/// future" via a pre-built memo — so trial/hit accounting over any
+/// rectangle is bit-identical to the naive transformation-major reference
+/// over the same rectangle (see the module docs for why row-major and
+/// transformation-major orders agree).
+fn coverage_scan<V: UnitVerdicts>(
+    source: &mut V,
     transformations: &[IdTransformation],
     pairs: &PairSet,
+    row_range: Range<usize>,
     use_cache: bool,
-) -> CoverageOutcome {
-    let rows = pairs.len();
-    // Sparse per-chunk collection: one (initially unallocated) sorted row
-    // list per candidate — empty candidates never touch the heap.
-    let mut covered_rows: Vec<SparseRows> = vec![Vec::new(); transformations.len()];
+    pool_len: usize,
+) -> ScanResult {
+    // Sparse collection: one (initially unallocated) sorted row list per
+    // candidate — empty candidates never touch the heap. Rows arrive in
+    // increasing order, so each list stays sorted by construction.
+    let mut covered: Vec<SparseRows> = vec![Vec::new(); transformations.len()];
     let mut trials: u64 = 0;
     let mut cache_hits: u64 = 0;
-    let mut unit_evaluations: u64 = 0;
-    let mut memo = RowMemo::new(pool.len());
-    let mut bad = BadUnitSet::new(pool.len());
+    let mut bad = BadUnitSet::new(pool_len);
     let mut buffer = String::new();
 
-    // Row-major iteration: the memo and the bad-unit cache live exactly one
-    // row; the per-row cache state seen when transformation `t` reaches row
-    // `r` is identical to the naive transformation-major loop's, because it
-    // only ever accrues from earlier trials on the same row (see module
-    // docs).
-    for row in 0..rows {
-        memo.next_row();
+    for row in row_range {
+        source.begin_row(row);
         bad.next_row();
-        let source = pairs.source(row);
         let target = pairs.target(row);
 
         'transformations: for (t_idx, t) in transformations.iter().enumerate() {
@@ -303,27 +928,15 @@ fn coverage_chunk_interned(
             buffer.clear();
             let mut failed = false;
             for &unit in t.unit_ids() {
-                // Evaluate the unit on this row at most once, memoizing both
-                // the output and the substring-of-target verdict.
-                if matches!(memo.get(unit), MemoEntry::Unknown) {
-                    unit_evaluations += 1;
-                    let entry = match pool.get(unit).output_on(source) {
-                        Some(out) if out.is_empty() || target.contains(out.as_ref()) => {
-                            MemoEntry::Good(out.into_owned().into_boxed_str())
-                        }
-                        _ => MemoEntry::Bad,
-                    };
-                    memo.set(unit, entry);
-                }
-                match memo.get(unit) {
-                    MemoEntry::Good(out) => {
+                match source.verdict(unit, row) {
+                    Verdict::Good(out) => {
                         buffer.push_str(out);
                         if buffer.len() > target.len() {
                             failed = true;
                             break;
                         }
                     }
-                    MemoEntry::Bad => {
+                    Verdict::Bad => {
                         // This unit can never appear in a transformation
                         // covering this row.
                         if use_cache {
@@ -332,23 +945,37 @@ fn coverage_chunk_interned(
                         failed = true;
                         break;
                     }
-                    MemoEntry::Unknown => unreachable!("memo entry was just filled"),
                 }
             }
             if !failed && buffer == target {
-                // Row-major iteration: rows arrive in increasing order, so
-                // each candidate's list stays sorted by construction.
-                covered_rows[t_idx].push(row as u32);
+                covered[t_idx].push(row as u32);
             }
         }
     }
 
-    CoverageOutcome {
-        covered_rows,
+    ScanResult {
+        covered,
         trials,
         cache_hits,
+        evaluations: source.evaluations(),
+    }
+}
+
+fn coverage_chunk_interned(
+    pool: &UnitPool,
+    transformations: &[IdTransformation],
+    pairs: &PairSet,
+    use_cache: bool,
+) -> CoverageOutcome {
+    let rows = pairs.len();
+    let mut source = LazyVerdicts::new(pool, pairs);
+    let scan = coverage_scan(&mut source, transformations, pairs, 0..rows, use_cache, pool.len());
+    CoverageOutcome {
+        covered_rows: scan.covered,
+        trials: scan.trials,
+        cache_hits: scan.cache_hits,
         potential_trials: transformations.len() as u64 * rows as u64,
-        unit_evaluations,
+        unit_evaluations: scan.evaluations,
         apply_time: Duration::ZERO,
     }
 }
@@ -379,6 +1006,15 @@ pub mod reference {
         threads: usize,
     ) -> CoverageOutcome {
         let start = Instant::now();
+        // Explicit degenerate path, mirroring `compute_coverage_planned`:
+        // empty inputs never reach the chunking arithmetic.
+        if transformations.is_empty() || pairs.is_empty() {
+            return CoverageOutcome {
+                covered_rows: vec![Vec::new(); transformations.len()],
+                apply_time: start.elapsed(),
+                ..CoverageOutcome::default()
+            };
+        }
         let mut outcome = if threads <= 1 || transformations.len() < 256 {
             coverage_chunk(transformations, pairs, use_cache)
         } else {
@@ -686,25 +1322,40 @@ mod tests {
             #![proptest_config(ProptestConfig::with_cases(32))]
 
             /// The sparse-collection engine reports exactly the same sorted
-            /// row lists and pruning statistics as the dense reference path,
-            /// sequentially and with 4-thread chunking, cache on and off.
+            /// row lists as the dense reference path, sequentially and with
+            /// 4-thread planning, cache on and off — and its pruning
+            /// statistics match the resolved plan's exact contract (serial
+            /// and row-axis plans: the serial reference; transformation-axis
+            /// plans: the reference summed over the plan's own chunks).
             #[test]
             fn sparse_collection_matches_dense_reference(
                 ts in pooled_transformations(),
                 rows in random_rows(),
                 use_cache in prop_oneof![Just(true), Just(false)],
             ) {
+                use crate::coverage::plan::{plan_execution, CoverageAxis, ExecutionPlan};
                 let set = pairs_from(&rows);
+                let dense_serial = compute_coverage_reference(&ts, &set, use_cache, 1);
                 for threads in [1usize, 4] {
                     let sparse = compute_coverage(&ts, &set, use_cache, threads);
-                    let dense = compute_coverage_reference(&ts, &set, use_cache, threads);
                     prop_assert_eq!(
-                        &sparse.covered_rows, &dense.covered_rows,
+                        &sparse.covered_rows, &dense_serial.covered_rows,
                         "covered rows diverged (cache={}, threads={})", use_cache, threads
                     );
-                    prop_assert_eq!(sparse.trials, dense.trials);
-                    prop_assert_eq!(sparse.cache_hits, dense.cache_hits);
-                    prop_assert_eq!(sparse.potential_trials, dense.potential_trials);
+                    let plan =
+                        plan_execution(ts.len(), set.len(), threads, CoverageAxis::Auto);
+                    let (expected_trials, expected_hits) = match plan {
+                        ExecutionPlan::Serial | ExecutionPlan::Rows { .. } => {
+                            (dense_serial.trials, dense_serial.cache_hits)
+                        }
+                        ExecutionPlan::Transformations { chunk_size, .. } => ts
+                            .chunks(chunk_size)
+                            .map(|c| compute_coverage_reference(c, &set, use_cache, 1))
+                            .fold((0, 0), |(t, h), r| (t + r.trials, h + r.cache_hits)),
+                    };
+                    prop_assert_eq!(sparse.trials, expected_trials);
+                    prop_assert_eq!(sparse.cache_hits, expected_hits);
+                    prop_assert_eq!(sparse.potential_trials, dense_serial.potential_trials);
                     // Every sparse list must be strictly sorted — the
                     // contract `RowBitmap::from_sorted_rows` densifies under.
                     for list in &sparse.covered_rows {
@@ -717,6 +1368,411 @@ mod tests {
         fn pairs_from(rows: &[(String, String)]) -> PairSet {
             PairSet::from_strings(rows, &NormalizeOptions::none())
         }
+    }
+
+    mod planner {
+        //! Edge-case unit tests for the execution planner: degenerate
+        //! shapes, threshold fallbacks, thread clamping, and the
+        //! worker/chunk arithmetic.
+
+        use crate::coverage::plan::*;
+
+        #[test]
+        fn degenerate_shapes_resolve_to_serial() {
+            for axis in [CoverageAxis::Auto, CoverageAxis::Transformations, CoverageAxis::Rows] {
+                // Either dimension empty: nothing to chunk.
+                assert_eq!(plan_execution(0, 100, 8, axis), ExecutionPlan::Serial);
+                assert_eq!(plan_execution(1000, 0, 8, axis), ExecutionPlan::Serial);
+                assert_eq!(plan_execution(0, 0, 8, axis), ExecutionPlan::Serial);
+                // One thread: nothing to parallelize.
+                assert_eq!(plan_execution(1000, 1000, 1, axis), ExecutionPlan::Serial);
+                assert_eq!(plan_execution(1000, 1000, 0, axis), ExecutionPlan::Serial);
+            }
+            // A one-long axis cannot be split, even when forced.
+            assert_eq!(
+                plan_execution(1, 1000, 4, CoverageAxis::Transformations),
+                ExecutionPlan::Serial
+            );
+            assert_eq!(plan_execution(1000, 1, 4, CoverageAxis::Rows), ExecutionPlan::Serial);
+        }
+
+        #[test]
+        fn auto_falls_back_to_serial_below_the_transformation_threshold() {
+            // The historical < 256 fallback: few candidates and few rows
+            // stay serial no matter the thread count.
+            assert_eq!(
+                plan_execution(MIN_AUTO_TRANSFORMATIONS - 1, 100, 8, CoverageAxis::Auto),
+                ExecutionPlan::Serial
+            );
+            // At the threshold the transformation axis kicks in.
+            assert_eq!(
+                plan_execution(256, 100, 4, CoverageAxis::Auto),
+                ExecutionPlan::Transformations { workers: 4, chunk_size: 64 }
+            );
+        }
+
+        #[test]
+        fn auto_picks_the_row_axis_for_wide_row_counts() {
+            // Few transformations, many rows: the GXJoin-style shape that
+            // used to collapse to serial now chunks rows.
+            assert_eq!(
+                plan_execution(64, 100_000, 4, CoverageAxis::Auto),
+                ExecutionPlan::Rows { workers: 4, chunk_size: 25_000 }
+            );
+            // Plentiful on both axes but more rows than candidates: rows.
+            assert_eq!(
+                plan_execution(300, 1_000, 2, CoverageAxis::Auto),
+                ExecutionPlan::Rows { workers: 2, chunk_size: 500 }
+            );
+            // More candidates than rows: transformations (the pre-planner
+            // default, preserving its exact stats).
+            assert_eq!(
+                plan_execution(1_000, 300, 2, CoverageAxis::Auto),
+                ExecutionPlan::Transformations { workers: 2, chunk_size: 500 }
+            );
+            // Rows below the auto threshold: serial.
+            assert_eq!(
+                plan_execution(64, MIN_AUTO_ROWS - 1, 4, CoverageAxis::Auto),
+                ExecutionPlan::Serial
+            );
+        }
+
+        #[test]
+        fn forced_axes_ignore_auto_thresholds() {
+            assert_eq!(
+                plan_execution(5, 3, 4, CoverageAxis::Transformations),
+                ExecutionPlan::Transformations { workers: 3, chunk_size: 2 }
+            );
+            assert_eq!(
+                plan_execution(5, 6, 2, CoverageAxis::Rows),
+                ExecutionPlan::Rows { workers: 2, chunk_size: 3 }
+            );
+        }
+
+        #[test]
+        fn workers_clamp_to_the_chunked_dimension() {
+            // Fewer rows than threads: one single-row chunk per row.
+            assert_eq!(
+                plan_execution(10, 3, 8, CoverageAxis::Rows),
+                ExecutionPlan::Rows { workers: 3, chunk_size: 1 }
+            );
+            assert_eq!(
+                plan_execution(2, 100, 16, CoverageAxis::Transformations),
+                ExecutionPlan::Transformations { workers: 2, chunk_size: 1 }
+            );
+        }
+
+        #[test]
+        fn chunk_arithmetic_exactly_tiles_the_dimension() {
+            // Across a sweep of shapes, the plan's workers × chunk_size
+            // tiles the chunked dimension: every chunk non-empty, no
+            // worker idle, the last chunk possibly short.
+            for dim in [2usize, 3, 5, 63, 64, 65, 100, 255, 256, 1000] {
+                for threads in [2usize, 3, 4, 7, 8, 64] {
+                    for (plan, chunked) in [
+                        (plan_execution(dim, 10, threads, CoverageAxis::Transformations), dim),
+                        (plan_execution(10_000, dim, threads, CoverageAxis::Rows), dim),
+                    ] {
+                        match plan {
+                            ExecutionPlan::Serial => assert!(
+                                threads.min(chunked) <= 1 || chunked.div_ceil(threads.min(chunked)) >= chunked,
+                                "unexpected serial at dim={chunked} threads={threads}"
+                            ),
+                            ExecutionPlan::Transformations { workers, chunk_size }
+                            | ExecutionPlan::Rows { workers, chunk_size } => {
+                                assert!(chunk_size >= 1);
+                                assert!(workers >= 2);
+                                assert_eq!(workers, chunked.div_ceil(chunk_size));
+                                assert!(workers <= threads);
+                                // No empty trailing chunk.
+                                assert!((workers - 1) * chunk_size < chunked);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_transformation_list_is_explicit_in_both_engines() {
+        use crate::coverage::plan::CoverageAxis;
+        let set = pairs(&[("a", "b"), ("c", "d")]);
+        let pool = UnitPool::new();
+        for axis in [CoverageAxis::Auto, CoverageAxis::Transformations, CoverageAxis::Rows] {
+            for threads in [1usize, 4] {
+                let out = compute_coverage_planned(&pool, &[], &set, true, threads, axis);
+                assert!(out.covered_rows.is_empty());
+                assert_eq!(out.trials, 0);
+                assert_eq!(out.cache_hits, 0);
+                assert_eq!(out.potential_trials, 0);
+                assert_eq!(out.unit_evaluations, 0);
+            }
+        }
+        let reference = compute_coverage_reference(&[], &set, true, 4);
+        assert!(reference.covered_rows.is_empty());
+        assert_eq!(reference.potential_trials, 0);
+    }
+
+    #[test]
+    fn zero_rows_is_explicit_in_both_engines() {
+        use crate::coverage::plan::CoverageAxis;
+        let set = pairs(&[]);
+        let ts = vec![initial_last(), Transformation::single(Unit::split(',', 0))];
+        let mut pool = UnitPool::new();
+        let interned: Vec<IdTransformation> = ts
+            .iter()
+            .map(|t| {
+                IdTransformation::new(t.units().iter().map(|u| pool.intern(u.clone())).collect())
+            })
+            .collect();
+        for axis in [CoverageAxis::Auto, CoverageAxis::Transformations, CoverageAxis::Rows] {
+            for threads in [1usize, 4] {
+                let out = compute_coverage_planned(&pool, &interned, &set, true, threads, axis);
+                assert_eq!(out.covered_rows, vec![Vec::<u32>::new(); 2]);
+                assert_eq!(out.trials, 0);
+                assert_eq!(out.potential_trials, 0);
+                assert_eq!(out.unit_evaluations, 0);
+            }
+        }
+        let reference = compute_coverage_reference(&ts, &set, true, 4);
+        assert_eq!(reference.covered_rows, vec![Vec::<u32>::new(); 2]);
+        assert_eq!(reference.potential_trials, 0);
+    }
+
+    #[test]
+    fn single_row_runs_serial_under_every_axis() {
+        use crate::coverage::plan::CoverageAxis;
+        let set = pairs(&[("bowling, michael", "m bowling")]);
+        let ts = vec![initial_last(), Transformation::single(Unit::split(',', 0))];
+        let reference = compute_coverage_reference(&ts, &set, true, 1);
+        let mut pool = UnitPool::new();
+        let interned: Vec<IdTransformation> = ts
+            .iter()
+            .map(|t| {
+                IdTransformation::new(t.units().iter().map(|u| pool.intern(u.clone())).collect())
+            })
+            .collect();
+        // One row cannot chunk on the row axis; two transformations CAN
+        // chunk on the transformation axis. Either way every observable
+        // matches the serial reference.
+        for axis in [CoverageAxis::Auto, CoverageAxis::Transformations, CoverageAxis::Rows] {
+            let out = compute_coverage_planned(&pool, &interned, &set, true, 4, axis);
+            assert_eq!(out.covered_rows, reference.covered_rows, "axis={axis:?}");
+            assert_eq!(out.trials + out.cache_hits, out.potential_trials, "axis={axis:?}");
+            assert_eq!(out.potential_trials, reference.potential_trials);
+        }
+        // Forced row axis over one row resolves to serial: identical stats.
+        let out = compute_coverage_planned(&pool, &interned, &set, true, 4, CoverageAxis::Rows);
+        assert_eq!(out.trials, reference.trials);
+        assert_eq!(out.cache_hits, reference.cache_hits);
+    }
+
+    #[test]
+    fn row_chunk_boundary_straddling_a_bitmap_word() {
+        use crate::bitmap::RowBitmap;
+        use crate::coverage::plan::{plan_execution, CoverageAxis, ExecutionPlan};
+        // Two row chunks with the boundary landing exactly at row 63, 64,
+        // and 65 — on and around a RowBitmap word seam. Coverage alternates
+        // rows, so sparse lists cross the seam on both sides.
+        for rows in [126usize, 128, 130] {
+            let boundary = rows / 2;
+            assert_eq!(
+                plan_execution(2, rows, 2, CoverageAxis::Rows),
+                ExecutionPlan::Rows { workers: 2, chunk_size: boundary },
+                "rows={rows}"
+            );
+            let raw: Vec<(String, String)> = (0..rows)
+                .map(|i| {
+                    let target = if i % 2 == 0 { "r" } else { "q" };
+                    (format!("r{i:03}"), target.to_string())
+                })
+                .collect();
+            let set = PairSet::from_strings(&raw, &tjoin_text::NormalizeOptions::none());
+            // substr(0,1) emits "r": covers even rows. literal("q") covers
+            // odd rows.
+            let ts = vec![
+                Transformation::single(Unit::substr(0, 1)),
+                Transformation::single(Unit::literal("q")),
+            ];
+            let mut pool = UnitPool::new();
+            let interned: Vec<IdTransformation> = ts
+                .iter()
+                .map(|t| {
+                    IdTransformation::new(
+                        t.units().iter().map(|u| pool.intern(u.clone())).collect(),
+                    )
+                })
+                .collect();
+            let reference = compute_coverage_reference(&ts, &set, true, 1);
+            let out = compute_coverage_planned(&pool, &interned, &set, true, 2, CoverageAxis::Rows);
+            assert_eq!(out.covered_rows, reference.covered_rows, "rows={rows}");
+            // Row-axis trial/hit accounting matches the serial reference.
+            assert_eq!(out.trials, reference.trials, "rows={rows}");
+            assert_eq!(out.cache_hits, reference.cache_hits, "rows={rows}");
+            // The concatenated lists stay strictly sorted across the seam
+            // and densify into the same bitmaps as the reference's.
+            for (sparse, expect) in out.covered_rows.iter().zip(&reference.covered_rows) {
+                assert!(sparse.windows(2).all(|w| w[0] < w[1]));
+                assert_eq!(
+                    RowBitmap::from_sorted_rows(rows, sparse),
+                    RowBitmap::from_sorted_rows(rows, expect)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_axis_stats_match_serial_reference_at_any_thread_count() {
+        use crate::coverage::plan::CoverageAxis;
+        let bad_unit = Unit::literal("zzz");
+        let ts = vec![
+            Transformation::new(vec![bad_unit.clone(), Unit::substr(0, 1)]),
+            Transformation::new(vec![bad_unit, Unit::substr(0, 2)]),
+            Transformation::single(Unit::substr(0, 3)),
+            Transformation::single(Unit::split(',', 0)),
+        ];
+        let raw: Vec<(String, String)> = (0..23)
+            .map(|i| (format!("ab{i},cd"), if i % 3 == 0 { "abc".into() } else { format!("ab{i}") }))
+            .collect();
+        let set = PairSet::from_strings(&raw, &tjoin_text::NormalizeOptions::none());
+        let mut pool = UnitPool::new();
+        let interned: Vec<IdTransformation> = ts
+            .iter()
+            .map(|t| {
+                IdTransformation::new(t.units().iter().map(|u| pool.intern(u.clone())).collect())
+            })
+            .collect();
+        for use_cache in [true, false] {
+            let reference = compute_coverage_reference(&ts, &set, use_cache, 1);
+            for threads in [2usize, 3, 5, 8, 64] {
+                let out = compute_coverage_planned(
+                    &pool,
+                    &interned,
+                    &set,
+                    use_cache,
+                    threads,
+                    CoverageAxis::Rows,
+                );
+                assert_eq!(out.covered_rows, reference.covered_rows, "threads={threads}");
+                assert_eq!(out.trials, reference.trials, "threads={threads}");
+                assert_eq!(out.cache_hits, reference.cache_hits, "threads={threads}");
+                assert_eq!(out.potential_trials, reference.potential_trials);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_memo_evaluations_exact_at_any_thread_count() {
+        use crate::coverage::plan::CoverageAxis;
+        // 300 candidates over a 4-unit pool: Auto goes parallel on the
+        // transformation axis; forcing rows exercises the other scan. In
+        // both cases the shared memo performs exactly
+        // rows × referenced-units evaluations — the ≤ rows × distinct-units
+        // acceptance bound — independent of thread count.
+        let units = [
+            Unit::substr(0, 1),
+            Unit::substr(0, 2),
+            Unit::split(',', 0),
+            Unit::literal("x"),
+        ];
+        let ts: Vec<Transformation> = (0..300)
+            .map(|i| {
+                Transformation::new(vec![
+                    units[i % 4].clone(),
+                    units[(i / 4) % 4].clone(),
+                ])
+            })
+            .collect();
+        let set = pairs(&[("ab,cd", "ab"), ("xy,zw", "xyx"), ("qq,rr", "q")]);
+        let mut pool = UnitPool::new();
+        let interned: Vec<IdTransformation> = ts
+            .iter()
+            .map(|t| {
+                IdTransformation::new(t.units().iter().map(|u| pool.intern(u.clone())).collect())
+            })
+            .collect();
+        let expected = (set.len() * pool.len()) as u64; // all 4 units referenced
+        for axis in [CoverageAxis::Transformations, CoverageAxis::Rows, CoverageAxis::Auto] {
+            for threads in [2usize, 4, 8] {
+                for use_cache in [true, false] {
+                    let out = compute_coverage_planned(
+                        &pool, &interned, &set, use_cache, threads, axis,
+                    );
+                    assert_eq!(
+                        out.unit_evaluations, expected,
+                        "axis={axis:?} threads={threads} cache={use_cache}"
+                    );
+                }
+            }
+        }
+        // The per-thread path retained for the bench pays more: each of the
+        // 4 workers lazily re-derives the shared units.
+        let per_thread = compute_coverage_interned_per_thread(&pool, &interned, &set, false, 4);
+        assert!(
+            per_thread.unit_evaluations > expected,
+            "per-thread memo should duplicate shared-unit work ({} vs {})",
+            per_thread.unit_evaluations,
+            expected
+        );
+    }
+
+    #[test]
+    fn over_budget_memo_falls_back_to_lazy_workers() {
+        use crate::coverage::plan::CoverageAxis;
+        // A one-entry budget forces the lazy per-worker fallback on every
+        // parallel plan: covered rows stay bit-identical, row-axis
+        // trial/hit/evaluation accounting stays bit-identical to serial,
+        // and transformation-axis accounting matches the per-chunk
+        // reference semantics (= the retained per-thread path).
+        let units = [
+            Unit::substr(0, 1),
+            Unit::substr(0, 2),
+            Unit::split(',', 0),
+            Unit::literal("x"),
+        ];
+        let ts: Vec<Transformation> = (0..300)
+            .map(|i| {
+                Transformation::new(vec![units[i % 4].clone(), units[(i / 4) % 4].clone()])
+            })
+            .collect();
+        let set = pairs(&[("ab,cd", "ab"), ("xy,zw", "xyx"), ("qq,rr", "q"), ("mm,nn", "mm")]);
+        let mut pool = UnitPool::new();
+        let interned: Vec<IdTransformation> = ts
+            .iter()
+            .map(|t| {
+                IdTransformation::new(t.units().iter().map(|u| pool.intern(u.clone())).collect())
+            })
+            .collect();
+        let serial = compute_coverage_reference(&ts, &set, true, 1);
+        for (axis, threads) in [
+            (CoverageAxis::Rows, 2usize),
+            (CoverageAxis::Rows, 4),
+            (CoverageAxis::Transformations, 4),
+        ] {
+            let tiny = compute_coverage_planned_impl(&pool, &interned, &set, true, threads, axis, 1);
+            let roomy = compute_coverage_planned(&pool, &interned, &set, true, threads, axis);
+            assert_eq!(tiny.covered_rows, serial.covered_rows, "axis={axis:?}");
+            assert_eq!(tiny.covered_rows, roomy.covered_rows, "axis={axis:?}");
+            // Trials/hits are a property of the plan, not the memo mode.
+            assert_eq!(tiny.trials, roomy.trials, "axis={axis:?}");
+            assert_eq!(tiny.cache_hits, roomy.cache_hits, "axis={axis:?}");
+            if axis == CoverageAxis::Rows {
+                assert_eq!(tiny.trials, serial.trials);
+                assert_eq!(tiny.cache_hits, serial.cache_hits);
+                // Lazy row-partitioned evaluation is exactly the serial
+                // engine's lazy count.
+                let serial_interned = compute_coverage_interned(&pool, &interned, &set, true, 1);
+                assert_eq!(tiny.unit_evaluations, serial_interned.unit_evaluations);
+            }
+            // The lazy fallback still respects the memo bound.
+            assert!(tiny.unit_evaluations <= (set.len() * pool.len() * threads) as u64);
+        }
+        // The budget predicate itself: overflow-safe and monotone.
+        assert!(shared_memo_fits(0, 0, 0));
+        assert!(shared_memo_fits(4, 4, SHARED_MEMO_BUDGET_BYTES));
+        assert!(!shared_memo_fits(usize::MAX, 2, SHARED_MEMO_BUDGET_BYTES));
+        assert!(!shared_memo_fits(1 << 20, 1 << 20, SHARED_MEMO_BUDGET_BYTES));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::bitmap::RowBitmap;
 use crate::config::SynthesisConfig;
 use crate::cover::{lazy_greedy_cover, min_rows_for_support, top_k, ScoredTransformation};
-use crate::coverage::compute_coverage_interned;
+use crate::coverage::compute_coverage_planned;
 use crate::generate::generate_transformations;
 use crate::pair::PairSet;
 use crate::sampling::sample_indices;
@@ -90,13 +90,16 @@ impl SynthesisEngine {
         let generation = generate_transformations(working, &self.config);
 
         // Phase 4: coverage with eager filtering, on the interned candidates
-        // (no re-interning, no unit cloning).
-        let coverage = compute_coverage_interned(
+        // (no re-interning, no unit cloning). Parallel runs are planned: a
+        // shared unit-output memo, then a scan chunked along the axis the
+        // planner (or the `coverage_axis` knob) picks from the shape.
+        let coverage = compute_coverage_planned(
             &generation.pool,
             &generation.transformations,
             working,
             self.config.unit_cache,
             self.config.threads,
+            self.config.coverage_axis,
         );
 
         // Phase 5: selection. Coverage arrives as sparse sorted row lists;

@@ -155,44 +155,59 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The interned coverage engine (unit pool + per-row memoization +
-    /// bitset cache + bitmap coverage) returns byte-identical covered rows,
-    /// trial counts, and cache-hit counts to the retained naive reference
-    /// implementation — across random unit pools and row sets, with and
-    /// without the cache, sequentially and with the 4-thread chunking.
+    /// bitset cache + bitmap coverage) returns byte-identical covered rows
+    /// to the retained naive reference implementation — across random unit
+    /// pools and row sets, with and without the cache, sequentially and
+    /// with 4-thread planning — and trial/cache-hit counts exactly matching
+    /// the resolved execution plan's contract (serial and row-axis plans:
+    /// the serial reference; transformation-axis plans: the reference
+    /// summed over the plan's own candidate chunks).
     #[test]
     fn interned_coverage_matches_reference(
         ts in pooled_transformations(),
         rows in random_rows(),
         use_cache in prop_oneof![Just(true), Just(false)],
     ) {
+        use tabjoin::synthesis::coverage::plan::{
+            plan_execution, CoverageAxis, ExecutionPlan,
+        };
         let set = PairSet::from_strings(&rows, &NormalizeOptions::none());
+        let reference = compute_coverage_reference(&ts, &set, use_cache, 1);
         for threads in [1usize, 4] {
             let interned = compute_coverage(&ts, &set, use_cache, threads);
-            let reference = compute_coverage_reference(&ts, &set, use_cache, threads);
             prop_assert_eq!(
                 interned.covered_rows_as_vecs(),
                 reference.covered_rows_as_vecs(),
                 "covered rows diverged (cache={}, threads={})", use_cache, threads
             );
-            prop_assert_eq!(interned.trials, reference.trials,
-                "trials diverged (cache={}, threads={})", use_cache, threads);
-            prop_assert_eq!(interned.cache_hits, reference.cache_hits,
-                "cache hits diverged (cache={}, threads={})", use_cache, threads);
+            let plan = plan_execution(ts.len(), set.len(), threads, CoverageAxis::Auto);
+            let (expected_trials, expected_hits) = match plan {
+                ExecutionPlan::Serial | ExecutionPlan::Rows { .. } => {
+                    (reference.trials, reference.cache_hits)
+                }
+                ExecutionPlan::Transformations { chunk_size, .. } => ts
+                    .chunks(chunk_size)
+                    .map(|c| compute_coverage_reference(c, &set, use_cache, 1))
+                    .fold((0, 0), |(t, h), r| (t + r.trials, h + r.cache_hits)),
+            };
+            prop_assert_eq!(interned.trials, expected_trials,
+                "trials diverged (cache={}, threads={}, plan={:?})", use_cache, threads, plan);
+            prop_assert_eq!(interned.cache_hits, expected_hits,
+                "cache hits diverged (cache={}, threads={}, plan={:?})", use_cache, threads, plan);
             prop_assert_eq!(interned.potential_trials, reference.potential_trials);
 
-            if threads == 1 {
-                // Memoization bound: the sequential engine evaluates each
-                // (row, unit) pair at most once, so evaluations are capped
-                // by rows x distinct units.
-                let distinct_units: std::collections::HashSet<&Unit> =
-                    ts.iter().flat_map(|t| t.units()).collect();
-                prop_assert!(
-                    interned.unit_evaluations
-                        <= (set.len() * distinct_units.len()) as u64,
-                    "memo bound violated: {} evaluations for {} rows x {} units",
-                    interned.unit_evaluations, set.len(), distinct_units.len()
-                );
-            }
+            // Memoization bound: each (row, unit) pair is evaluated at most
+            // once per worker — and exactly once globally under shared-memo
+            // plans — so evaluations never exceed rows x distinct units per
+            // worker (threads = 1: the plain serial bound).
+            let distinct_units: std::collections::HashSet<&Unit> =
+                ts.iter().flat_map(|t| t.units()).collect();
+            prop_assert!(
+                interned.unit_evaluations
+                    <= (set.len() * distinct_units.len() * threads) as u64,
+                "memo bound violated: {} evaluations for {} rows x {} units x {} threads",
+                interned.unit_evaluations, set.len(), distinct_units.len(), threads
+            );
         }
     }
 }
