@@ -9,7 +9,7 @@
 //! from PR 1 onward.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Instant;
+use tjoin_bench::time_seconds;
 use tjoin_core::coverage::reference::compute_coverage_reference;
 use tjoin_core::coverage::{compute_coverage, CoverageOutcome};
 use tjoin_core::{PairSet, SynthesisConfig};
@@ -60,18 +60,6 @@ fn assert_outcomes_identical(a: &CoverageOutcome, b: &CoverageOutcome) {
     assert_eq!(a.trials, b.trials, "trial counts diverged");
     assert_eq!(a.cache_hits, b.cache_hits, "cache-hit counts diverged");
     assert_eq!(a.potential_trials, b.potential_trials);
-}
-
-/// Median seconds per iteration of `f` over `samples` runs.
-fn time_seconds<F: FnMut()>(samples: usize, mut f: F) -> f64 {
-    let mut times = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let start = Instant::now();
-        f();
-        times.push(start.elapsed().as_secs_f64());
-    }
-    times.sort_by(|x, y| x.total_cmp(y));
-    times[times.len() / 2]
 }
 
 fn bench_coverage_interned(c: &mut Criterion) {

@@ -17,7 +17,7 @@
 //! Covered rows are asserted bit-identical across every leg before timing.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Instant;
+use tjoin_bench::time_seconds;
 use tjoin_core::coverage::plan::CoverageAxis;
 use tjoin_core::coverage::reference::compute_coverage_reference;
 use tjoin_core::coverage::{
@@ -124,18 +124,6 @@ fn intern(ts: &[Transformation]) -> (UnitPool, Vec<IdTransformation>) {
 fn assert_covered_identical(a: &CoverageOutcome, b: &CoverageOutcome, what: &str) {
     assert_eq!(a.covered_rows, b.covered_rows, "covered rows diverged: {what}");
     assert_eq!(a.potential_trials, b.potential_trials, "potential trials diverged: {what}");
-}
-
-/// Median seconds per iteration of `f` over `samples` runs.
-fn time_seconds<F: FnMut()>(samples: usize, mut f: F) -> f64 {
-    let mut times = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let start = Instant::now();
-        f();
-        times.push(start.elapsed().as_secs_f64());
-    }
-    times.sort_by(|x, y| x.total_cmp(y));
-    times[times.len() / 2]
 }
 
 fn bench_memo_sharing(c: &mut Criterion) {

@@ -50,6 +50,13 @@ pub struct SynthesisConfig {
     /// Normalization applied to both columns before synthesis.
     pub normalize: NormalizeOptions,
     /// Number of worker threads for the coverage phase (1 = sequential).
+    ///
+    /// This field is the workspace-wide thread-budget convention: the row
+    /// matcher (`NGramMatcherConfig::threads`), the join pipeline's
+    /// equi-join apply loop, and the batch join runner's shared budget all
+    /// follow the same semantics — results are bit-identical at any value,
+    /// only wall-clock changes. `JoinPipelineConfig::with_threads` applies
+    /// one budget across every stage.
     pub threads: usize,
     /// Which axis of the coverage matrix parallel execution chunks across
     /// threads: transformations, rows, or (the default) whatever the

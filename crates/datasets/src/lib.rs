@@ -13,6 +13,9 @@
 //!   the same joinability structure (multi-rule covers, noise, skewed n-gram
 //!   distributions) so that every experiment exercises the same code paths.
 //!   The substitutions are documented in `DESIGN.md`.
+//! * [`repository`] — the repository-scale workload generator: N
+//!   heterogeneous column pairs (names / phones / dates / web formats, with
+//!   controllable noise and non-joinable decoys) for the batch join runner.
 //! * [`corpus`] — small embedded word lists (names, departments, streets)
 //!   used by the realistic generators.
 //! * [`io`] — minimal CSV/TSV reading and writing for the table types.
@@ -23,11 +26,13 @@
 pub mod corpus;
 pub mod io;
 pub mod realistic;
+pub mod repository;
 pub mod synthetic;
 pub mod table;
 
+pub use repository::RepositoryConfig;
 pub use synthetic::{SyntheticConfig, SyntheticDataset};
-pub use table::{ColumnPair, Table, TablePair};
+pub use table::{row_id, ColumnPair, Table, TablePair};
 
 /// The benchmark families evaluated in the paper (Table 1, 2, 3, 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

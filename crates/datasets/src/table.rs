@@ -140,6 +140,22 @@ impl TablePair {
     }
 }
 
+/// Converts a row index from `usize` to the `u32` row-id space used by
+/// [`ColumnPair`] golden mappings, `RowMatch`es, and predicted join pairs.
+///
+/// Every cast site in the matcher and join layers routes through this
+/// helper so that a column with more than `u32::MAX` rows panics with a
+/// clear message instead of silently truncating the index (and, with it,
+/// silently mis-joining rows). Columns that large are rejected up front by
+/// [`ColumnPair::new`] / [`ColumnPair::assert_row_indexable`]; this is the
+/// backstop at the individual cast.
+#[inline]
+pub fn row_id(index: usize) -> u32 {
+    u32::try_from(index).unwrap_or_else(|_| {
+        panic!("row index {index} exceeds the u32 row-id space (max {})", u32::MAX)
+    })
+}
+
 /// The join columns of a table pair plus the golden row mapping: the unit of
 /// work for row matching, transformation discovery, and evaluation.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -155,6 +171,46 @@ pub struct ColumnPair {
 }
 
 impl ColumnPair {
+    /// Checked constructor: builds a column pair after verifying both
+    /// columns fit the `u32` row-id space (golden mappings, `RowMatch`es,
+    /// and predicted join pairs all index rows as `u32`). Columns with more
+    /// than `u32::MAX` rows panic here, up front, instead of silently
+    /// truncating indices deep inside the matcher or join.
+    pub fn new(
+        name: impl Into<String>,
+        source: Vec<String>,
+        target: Vec<String>,
+        golden: Vec<(u32, u32)>,
+    ) -> Self {
+        let pair = Self {
+            name: name.into(),
+            source,
+            target,
+            golden,
+        };
+        pair.assert_row_indexable();
+        pair
+    }
+
+    /// Panics with a clear message when either column has more rows than
+    /// the `u32` row-id space can address. Called by [`ColumnPair::new`]
+    /// and by the matcher/join entry points (the fields are public, so a
+    /// pair built with a struct literal bypasses the constructor check).
+    pub fn assert_row_indexable(&self) {
+        assert!(
+            self.source.len() <= u32::MAX as usize,
+            "source column of {:?} has {} rows, exceeding the u32 row-id space",
+            self.name,
+            self.source.len()
+        );
+        assert!(
+            self.target.len() <= u32::MAX as usize,
+            "target column of {:?} has {} rows, exceeding the u32 row-id space",
+            self.name,
+            self.target.len()
+        );
+    }
+
     /// Creates a column pair where row `i` of the source joins row `i` of the
     /// target (the common case for generated data).
     pub fn aligned(
@@ -163,13 +219,8 @@ impl ColumnPair {
         target: Vec<String>,
     ) -> Self {
         assert_eq!(source.len(), target.len(), "aligned pair requires equal length");
-        let golden = (0..source.len() as u32).map(|i| (i, i)).collect();
-        Self {
-            name: name.into(),
-            source,
-            target,
-            golden,
-        }
+        let golden = (0..source.len()).map(|i| (row_id(i), row_id(i))).collect();
+        Self::new(name, source, target, golden)
     }
 
     /// Number of source rows.
@@ -301,5 +352,31 @@ mod tests {
         let cp = ColumnPair::default();
         assert_eq!(cp.average_value_length(), 0.0);
         assert_eq!(cp.source_len(), 0);
+    }
+
+    #[test]
+    fn row_id_roundtrips_in_range() {
+        assert_eq!(row_id(0), 0);
+        assert_eq!(row_id(12_345), 12_345);
+        assert_eq!(row_id(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 row-id space")]
+    fn row_id_rejects_truncating_indices() {
+        // No allocation needed: the helper takes the index, not a column.
+        let _ = row_id(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn checked_constructor_accepts_normal_columns() {
+        let cp = ColumnPair::new(
+            "ok",
+            vec!["a".into()],
+            vec!["A".into(), "A2".into()],
+            vec![(0, 0), (0, 1)],
+        );
+        cp.assert_row_indexable();
+        assert_eq!(cp.target_len(), 2);
     }
 }

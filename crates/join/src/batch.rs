@@ -1,0 +1,269 @@
+//! Repository-scale batch joining.
+//!
+//! GXJoin and QJoin frame joinability discovery as a *many-column-pairs*
+//! problem: a table repository yields hundreds of candidate column pairs,
+//! each of which must be matched, synthesized over, and joined. The
+//! [`BatchJoinRunner`] drives the per-pair [`JoinPipeline`] across such a
+//! repository under one shared thread budget:
+//!
+//! * pairs are chunked across `min(threads, pairs)` workers (pair-level
+//!   parallelism — the axis with no shared state at all);
+//! * each worker's pipeline receives the remaining budget
+//!   (`threads / workers`, at least 1) for its *inner* parallel stages
+//!   (matcher row scan, synthesis coverage, equi-join apply), so total
+//!   concurrency stays within the budget instead of multiplying;
+//! * per-pair [`JoinOutcome`]s are collected in repository order and
+//!   aggregated into [`RepositoryMetrics`].
+//!
+//! Every stage of the per-pair pipeline is bit-identical at any thread
+//! count (see the pipeline and matcher module docs), so a batch run
+//! produces exactly the outcomes the per-pair pipeline would — batching
+//! changes wall-clock, never results. `tests/paper_claims.rs` pins the
+//! end-to-end version of that claim on a generated repository.
+
+use crate::evaluate::JoinMetrics;
+use crate::pipeline::{JoinOutcome, JoinPipeline, JoinPipelineConfig};
+use std::time::Duration;
+use tjoin_datasets::ColumnPair;
+
+/// One repository entry's result: the pair's name plus its pipeline
+/// outcome.
+#[derive(Debug, Clone)]
+pub struct PairJoinReport {
+    /// The column pair's name (from [`ColumnPair::name`]).
+    pub name: String,
+    /// The per-pair pipeline outcome.
+    pub outcome: JoinOutcome,
+}
+
+/// Aggregate quality and cost over a repository run.
+#[derive(Debug, Clone, Default)]
+pub struct RepositoryMetrics {
+    /// Number of column pairs processed.
+    pub pairs: usize,
+    /// Pairs for which at least one row pair was predicted.
+    pub joined_pairs: usize,
+    /// Micro-averaged join quality: true positives, predictions, and golden
+    /// pairs summed over the repository before computing precision /
+    /// recall / F1 (large pairs weigh more).
+    pub micro: JoinMetrics,
+    /// Macro-averaged F1: the unweighted mean of per-pair F1 (every pair
+    /// weighs the same; decoy pairs with no golden mapping score 0 and drag
+    /// this down by design).
+    pub macro_f1: f64,
+    /// Total wall-clock spent in row matching across all pairs.
+    pub matching_time: Duration,
+    /// Total wall-clock spent in transformation discovery across all pairs.
+    pub synthesis_time: Duration,
+    /// Total wall-clock spent applying transformations and equi-joining.
+    pub join_time: Duration,
+}
+
+/// The result of a batch run: per-pair reports in repository order plus the
+/// aggregate metrics.
+#[derive(Debug, Clone)]
+pub struct BatchJoinOutcome {
+    /// One report per input pair, in input order.
+    pub reports: Vec<PairJoinReport>,
+    /// Aggregate repository metrics.
+    pub metrics: RepositoryMetrics,
+}
+
+/// Drives the per-pair join pipeline across a repository of column pairs
+/// under a shared thread budget (see the module docs).
+#[derive(Debug, Clone)]
+pub struct BatchJoinRunner {
+    config: JoinPipelineConfig,
+    threads: usize,
+}
+
+impl BatchJoinRunner {
+    /// Creates a runner applying `config` to every pair with a shared
+    /// budget of `threads` worker threads (clamped to at least one). Any
+    /// thread setting already present in `config` is overridden by the
+    /// budget split.
+    pub fn new(config: JoinPipelineConfig, threads: usize) -> Self {
+        config.synthesis.validate();
+        Self {
+            config,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The shared thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs match → synthesize → join on every pair of the repository and
+    /// aggregates the outcomes. Reports are returned in input order and
+    /// are bit-identical to running the per-pair pipeline directly.
+    pub fn run(&self, repository: &[ColumnPair]) -> BatchJoinOutcome {
+        let workers = self.threads.min(repository.len()).max(1);
+        let inner_threads = (self.threads / workers).max(1);
+        let pair_config = self.config.clone().with_threads(inner_threads);
+
+        // Contiguous pair chunks across the worker budget, concatenated in
+        // order. Outcomes are thread-invariant, so chunk boundaries cannot
+        // change results.
+        let pipeline = JoinPipeline::new(pair_config);
+        let reports: Vec<PairJoinReport> =
+            tjoin_text::chunk_map(repository, workers, |pair| PairJoinReport {
+                name: pair.name.clone(),
+                outcome: pipeline.run(pair),
+            });
+
+        let metrics = aggregate(&reports);
+        BatchJoinOutcome { reports, metrics }
+    }
+}
+
+/// Computes the repository aggregate of a report list.
+fn aggregate(reports: &[PairJoinReport]) -> RepositoryMetrics {
+    let mut metrics = RepositoryMetrics {
+        pairs: reports.len(),
+        ..RepositoryMetrics::default()
+    };
+    let (mut tp, mut predicted, mut golden) = (0usize, 0usize, 0usize);
+    let mut f1_sum = 0.0f64;
+    for report in reports {
+        let m = &report.outcome.metrics;
+        tp += m.true_positives;
+        predicted += m.predicted;
+        golden += m.golden;
+        f1_sum += m.f1;
+        if m.predicted > 0 {
+            metrics.joined_pairs += 1;
+        }
+        metrics.matching_time += report.outcome.matching_time;
+        metrics.synthesis_time += report.outcome.synthesis_time;
+        metrics.join_time += report.outcome.join_time;
+    }
+    metrics.micro = JoinMetrics::from_counts(tp, predicted, golden);
+    metrics.macro_f1 = if reports.is_empty() { 0.0 } else { f1_sum / reports.len() as f64 };
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::RowMatchingStrategy;
+
+    fn small_repository() -> Vec<ColumnPair> {
+        vec![
+            ColumnPair::aligned(
+                "names",
+                vec![
+                    "Rafiei, Davood".into(),
+                    "Nascimento, Mario".into(),
+                    "Bowling, Michael".into(),
+                    "Gosgnach, Simon".into(),
+                ],
+                vec![
+                    "D Rafiei".into(),
+                    "M Nascimento".into(),
+                    "M Bowling".into(),
+                    "S Gosgnach".into(),
+                ],
+            ),
+            ColumnPair::aligned(
+                "emails",
+                vec![
+                    "smith.john@example.org".into(),
+                    "doe.jane@example.org".into(),
+                    "wong.alex@example.org".into(),
+                ],
+                vec!["john".into(), "jane".into(), "alex".into()],
+            ),
+        ]
+    }
+
+    /// A pair whose target shares no structure with the source: no string
+    /// transformation can cover it, so a correct batch run predicts
+    /// nothing for it.
+    fn decoy_pair() -> ColumnPair {
+        ColumnPair {
+            name: "decoy".into(),
+            source: vec![
+                "Rafiei, Davood".into(),
+                "Nascimento, Mario".into(),
+                "Bowling, Michael".into(),
+            ],
+            target: vec!["qqxx-0017-zz".into(), "ttyy-9321-vv".into(), "rrww-4205-kk".into()],
+            golden: vec![],
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_pair_pipeline() {
+        let config = JoinPipelineConfig::paper_default();
+        let repository = small_repository();
+        for threads in [1usize, 2, 4] {
+            let batch = BatchJoinRunner::new(config.clone(), threads).run(&repository);
+            assert_eq!(batch.reports.len(), repository.len());
+            for (pair, report) in repository.iter().zip(&batch.reports) {
+                assert_eq!(report.name, pair.name);
+                let solo = JoinPipeline::new(config.clone()).run(pair);
+                assert_eq!(
+                    report.outcome.predicted_pairs, solo.predicted_pairs,
+                    "pair {} diverged at {threads} threads",
+                    pair.name
+                );
+                assert_eq!(report.outcome.metrics, solo.metrics);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_metrics_add_up() {
+        let repository = small_repository();
+        let batch = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 2).run(&repository);
+        let m = &batch.metrics;
+        assert_eq!(m.pairs, 2);
+        assert_eq!(m.joined_pairs, 2);
+        let golden_total: usize = batch.reports.iter().map(|r| r.outcome.metrics.golden).sum();
+        assert_eq!(m.micro.golden, golden_total);
+        assert!(m.micro.f1 > 0.8, "micro f1 {}", m.micro.f1);
+        assert!(m.macro_f1 > 0.8, "macro f1 {}", m.macro_f1);
+    }
+
+    #[test]
+    fn decoy_pair_predicts_nothing() {
+        let mut repository = small_repository();
+        repository.push(decoy_pair());
+        let batch = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 4).run(&repository);
+        let decoy = batch.reports.iter().find(|r| r.name == "decoy").unwrap();
+        assert!(
+            decoy.outcome.predicted_pairs.is_empty(),
+            "decoy predicted {:?}",
+            decoy.outcome.predicted_pairs
+        );
+        // The joinable pairs are unaffected by the decoy riding along.
+        assert_eq!(batch.metrics.joined_pairs, 2);
+        assert_eq!(batch.metrics.pairs, 3);
+    }
+
+    #[test]
+    fn empty_repository() {
+        let batch = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 4).run(&[]);
+        assert!(batch.reports.is_empty());
+        assert_eq!(batch.metrics.pairs, 0);
+        assert_eq!(batch.metrics.macro_f1, 0.0);
+        assert_eq!(batch.metrics.micro.f1, 0.0);
+    }
+
+    #[test]
+    fn golden_strategy_batch() {
+        let config = JoinPipelineConfig {
+            matching: RowMatchingStrategy::Golden,
+            ..JoinPipelineConfig::paper_default()
+        };
+        let batch = BatchJoinRunner::new(config, 2).run(&small_repository());
+        assert!((batch.metrics.micro.recall - 1.0).abs() < 1e-9, "{:?}", batch.metrics);
+    }
+
+    #[test]
+    fn thread_budget_clamped() {
+        assert_eq!(BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 0).threads(), 1);
+    }
+}

@@ -21,35 +21,45 @@ pub struct JoinMetrics {
     pub f1: f64,
 }
 
+impl JoinMetrics {
+    /// Builds the metric set from raw counts — the single place the
+    /// precision / recall / F1 formulas (and their empty-set conventions:
+    /// zero, not NaN) live. Used by [`evaluate_join`] for one pair and by
+    /// the batch runner's micro-average over summed repository counts.
+    pub fn from_counts(true_positives: usize, predicted: usize, golden: usize) -> Self {
+        let precision = if predicted == 0 {
+            0.0
+        } else {
+            true_positives as f64 / predicted as f64
+        };
+        let recall = if golden == 0 {
+            0.0
+        } else {
+            true_positives as f64 / golden as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            predicted,
+            golden,
+            true_positives,
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
 /// Evaluates predicted `(source_row, target_row)` pairs against the golden
 /// mapping. Duplicates on either side are counted once.
 pub fn evaluate_join(predicted: &[(u32, u32)], golden: &[(u32, u32)]) -> JoinMetrics {
     let predicted_set: HashSet<(u32, u32)> = predicted.iter().copied().collect();
     let golden_set: HashSet<(u32, u32)> = golden.iter().copied().collect();
     let true_positives = predicted_set.intersection(&golden_set).count();
-    let precision = if predicted_set.is_empty() {
-        0.0
-    } else {
-        true_positives as f64 / predicted_set.len() as f64
-    };
-    let recall = if golden_set.is_empty() {
-        0.0
-    } else {
-        true_positives as f64 / golden_set.len() as f64
-    };
-    let f1 = if precision + recall == 0.0 {
-        0.0
-    } else {
-        2.0 * precision * recall / (precision + recall)
-    };
-    JoinMetrics {
-        predicted: predicted_set.len(),
-        golden: golden_set.len(),
-        true_positives,
-        precision,
-        recall,
-        f1,
-    }
+    JoinMetrics::from_counts(true_positives, predicted_set.len(), golden_set.len())
 }
 
 #[cfg(test)]

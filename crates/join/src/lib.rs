@@ -1,22 +1,58 @@
 //! # tjoin-join
 //!
-//! The end-to-end join pipeline (Section 4.2 and Section 6.5 of the paper):
+//! The end-to-end join layer (Sections 4.2 and 6.5 of the paper), built for
+//! repository-scale workloads: one column pair runs through the parallel
+//! [`pipeline`], and a whole repository of pairs runs through the shared
+//! thread-budget [`batch`] driver.
 //!
-//! 1. find candidate joinable row pairs (n-gram matching, or the golden
-//!    mapping for oracle experiments);
+//! # The per-pair pipeline
+//!
+//! 1. find candidate joinable row pairs (the planned-parallel n-gram
+//!    matcher of `tjoin-matching`, or the golden mapping for oracle
+//!    experiments);
 //! 2. discover a transformation set over those pairs with the synthesis
 //!    engine (or a baseline);
 //! 3. keep transformations above a minimum support;
 //! 4. apply them to every source row and equi-join the transformed values
-//!    against the target column;
+//!    against the target column — a *fingerprint join*: both columns
+//!    normalized once, target rows bucketed by the 64-bit
+//!    [`tjoin_text::fingerprint64`] of their normalized value, probes
+//!    confirmed with an exact string comparison, and the apply loop chunked
+//!    over source-row ranges across `SynthesisConfig::threads` workers;
 //! 5. evaluate the predicted row pairs against the golden mapping
 //!    (precision / recall / F1 — Table 3).
+//!
+//! # Determinism and the reference oracles
+//!
+//! Every parallel stage is bit-identical at any thread count. The serial
+//! pre-parallel implementations are retained as differential oracles —
+//! [`reference::equi_join_reference`] here and
+//! `tjoin_matching::reference::find_candidates_reference` for the matcher —
+//! and `tests/proptest_join.rs` proves production output identical to them
+//! across random column pairs × {1, 2, 4} threads × both matching
+//! strategies.
+//!
+//! # Repository-scale batching
+//!
+//! [`batch::BatchJoinRunner`] runs match → synthesize → join over many
+//! column pairs (the GXJoin/QJoin many-column-pairs regime) under one
+//! shared thread budget: pairs chunk across workers, each worker's pipeline
+//! receives the remaining budget for its inner parallel stages, and
+//! per-pair [`JoinOutcome`]s aggregate into
+//! [`batch::RepositoryMetrics`] (micro / macro quality, per-phase time
+//! totals). `tjoin_datasets::repository` generates heterogeneous workloads
+//! (names / phones / dates / web formats, controllable noise, non-joinable
+//! decoys) for it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod evaluate;
 pub mod pipeline;
+pub mod reference;
 
+pub use batch::{BatchJoinOutcome, BatchJoinRunner, PairJoinReport, RepositoryMetrics};
 pub use evaluate::{evaluate_join, JoinMetrics};
 pub use pipeline::{JoinOutcome, JoinPipeline, JoinPipelineConfig, RowMatchingStrategy};
+pub use reference::equi_join_reference;

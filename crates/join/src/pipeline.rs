@@ -1,13 +1,24 @@
 //! The end-to-end join pipeline.
+//!
+//! The transformed equi-join (step 4) runs as a planned parallel scan: both
+//! columns are normalized exactly once, the target column is indexed by the
+//! 64-bit [`fingerprint64`] of each normalized value (no owned-string keys),
+//! and the apply loop is chunked over contiguous source-row ranges across
+//! [`SynthesisConfig::threads`] workers. Probes confirm fingerprint hits
+//! with an exact string comparison, so a fingerprint collision can never
+//! produce a wrong pair. Predicted-pair dedup keys include the source row,
+//! making per-row probes independent; a transformation-major assembly
+//! reproduces the serial discovery order, so output is bit-identical at any
+//! thread count to the retained oracle
+//! [`crate::reference::equi_join_reference`].
 
 use crate::evaluate::{evaluate_join, JoinMetrics};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use tjoin_core::{SynthesisConfig, SynthesisEngine};
-use tjoin_datasets::ColumnPair;
+use tjoin_datasets::{row_id, ColumnPair};
 use tjoin_matching::{golden_pairs, NGramMatcher, NGramMatcherConfig};
-use tjoin_text::normalize_for_matching;
+use tjoin_text::{chunk_map, fingerprint64, normalize_for_matching, FxHashMap, FxHashSet};
 use tjoin_units::{Transformation, TransformationSet};
 
 /// How candidate joinable row pairs are obtained before synthesis.
@@ -47,6 +58,19 @@ impl JoinPipelineConfig {
             synthesis: SynthesisConfig::default(),
             join_min_support: 0.05,
         }
+    }
+
+    /// Builder-style setter applying one thread budget to every parallel
+    /// stage of the pipeline: the row matcher's scan, the synthesis
+    /// coverage phase, and the equi-join apply loop. Results are
+    /// bit-identical at any value (only wall-clock changes).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        let threads = threads.max(1);
+        self.synthesis = self.synthesis.with_threads(threads);
+        if let RowMatchingStrategy::NGram(cfg) = &mut self.matching {
+            cfg.threads = threads;
+        }
+        self
     }
 }
 
@@ -155,48 +179,140 @@ impl JoinPipeline {
     }
 
     /// Applies every transformation to every source row and hash-joins the
-    /// transformed values against the (normalized) target column. A source
-    /// row matching several target rows yields all pairs (many-to-many, as
-    /// the paper assumes when the relationship is unspecified).
-    fn equi_join<'a, I>(&self, pair: &ColumnPair, transformations: I) -> Vec<(u32, u32)>
+    /// transformed values against the target column on 64-bit fingerprints
+    /// of normalized values, confirming each hit with an exact string
+    /// comparison. A source row matching several target rows yields all
+    /// pairs (many-to-many, as the paper assumes when the relationship is
+    /// unspecified).
+    ///
+    /// The apply loop is chunked over contiguous source-row ranges across
+    /// [`SynthesisConfig::threads`] workers; output is bit-identical (same
+    /// pairs, same order) to [`crate::reference::equi_join_reference`] at
+    /// any thread count — see the module docs.
+    pub fn equi_join<'a, I>(&self, pair: &ColumnPair, transformations: I) -> Vec<(u32, u32)>
     where
         I: IntoIterator<Item = &'a Transformation>,
     {
-        let normalize = &self.config.synthesis.normalize;
-        // Hash the target column on normalized values.
-        let mut target_index: HashMap<String, Vec<u32>> = HashMap::new();
-        for (row, value) in pair.target.iter().enumerate() {
-            target_index
-                .entry(normalize_for_matching(value, normalize))
-                .or_default()
-                .push(row as u32);
+        pair.assert_row_indexable();
+        let transformations: Vec<&Transformation> = transformations.into_iter().collect();
+        if transformations.is_empty() || pair.source.is_empty() || pair.target.is_empty() {
+            return Vec::new();
         }
+        let normalize = &self.config.synthesis.normalize;
 
+        // Normalize each column exactly once; the target's normalized
+        // values live in this single vector (probes compare against it)
+        // instead of being cloned into owned hash-map keys.
+        let targets_normalized: Vec<String> = pair
+            .target
+            .iter()
+            .map(|v| normalize_for_matching(v, normalize))
+            .collect();
         let sources_normalized: Vec<String> = pair
             .source
             .iter()
             .map(|v| normalize_for_matching(v, normalize))
             .collect();
 
-        let mut predicted: Vec<(u32, u32)> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for transformation in transformations {
-            for (src_row, src_value) in sources_normalized.iter().enumerate() {
+        // Fingerprint index over the target column: rows bucketed by the
+        // 64-bit fingerprint of their normalized value, in ascending row
+        // order (the same within-bucket order as the oracle's string map).
+        let mut target_index: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for (row, value) in targets_normalized.iter().enumerate() {
+            target_index
+                .entry(fingerprint64(value))
+                .or_default()
+                .push(row_id(row));
+        }
+
+        let workers = self
+            .config
+            .synthesis
+            .threads
+            .min(sources_normalized.len())
+            .max(1);
+        if workers <= 1 {
+            // Serial fast path: the oracle's transformation-major loop with
+            // fingerprint probes — no per-row hit buffers or assembly pass.
+            // Emission order is the oracle's by construction; the parallel
+            // path below reproduces it via assembly, and the differential
+            // suite pins both to the oracle.
+            let mut predicted: Vec<(u32, u32)> = Vec::new();
+            let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+            for transformation in &transformations {
+                for (src_row, src_value) in sources_normalized.iter().enumerate() {
+                    let Some(out) = transformation.apply(src_value) else {
+                        continue;
+                    };
+                    let Some(rows) = target_index.get(&fingerprint64(&out)) else {
+                        continue;
+                    };
+                    for &tgt_row in rows {
+                        if targets_normalized[tgt_row as usize] == out
+                            && seen.insert((row_id(src_row), tgt_row))
+                        {
+                            predicted.push((row_id(src_row), tgt_row));
+                        }
+                    }
+                }
+            }
+            return predicted;
+        }
+
+        let join_row = |src_value: &str| -> RowJoinHits {
+            let mut seen: FxHashSet<u32> = FxHashSet::default();
+            let mut hits: RowJoinHits = Vec::new();
+            for (t_idx, transformation) in transformations.iter().enumerate() {
                 let Some(out) = transformation.apply(src_value) else {
                     continue;
                 };
-                if let Some(targets) = target_index.get(&out) {
-                    for &tgt_row in targets {
-                        if seen.insert((src_row as u32, tgt_row)) {
-                            predicted.push((src_row as u32, tgt_row));
-                        }
+                let Some(rows) = target_index.get(&fingerprint64(&out)) else {
+                    continue;
+                };
+                // Exact-string confirm: a fingerprint collision bucket can
+                // hold rows of a different value; they are filtered here.
+                let new: Vec<u32> = rows
+                    .iter()
+                    .copied()
+                    .filter(|&r| targets_normalized[r as usize] == out && seen.insert(r))
+                    .collect();
+                if !new.is_empty() {
+                    hits.push((t_idx, new));
+                }
+            }
+            hits
+        };
+
+        // Contiguous source-row chunks across the thread budget,
+        // concatenated in order — the serial per-row sequence.
+        let per_row: Vec<RowJoinHits> =
+            chunk_map(&sources_normalized, workers, |v| join_row(v));
+
+        // Assembly in the oracle's transformation-major order. Each row's
+        // hits are sorted by transformation index, so one cursor per row
+        // makes this linear in the output.
+        let mut cursors = vec![0usize; per_row.len()];
+        let mut predicted: Vec<(u32, u32)> = Vec::new();
+        for t_idx in 0..transformations.len() {
+            for (src_row, hits) in per_row.iter().enumerate() {
+                let cursor = &mut cursors[src_row];
+                if *cursor < hits.len() && hits[*cursor].0 == t_idx {
+                    let src = row_id(src_row);
+                    for &tgt_row in &hits[*cursor].1 {
+                        predicted.push((src, tgt_row));
                     }
+                    *cursor += 1;
                 }
             }
         }
         predicted
     }
 }
+
+/// One source row's probe result: for each transformation index that
+/// predicted something new, the newly matched target rows in bucket order.
+/// Transformation indices appear in increasing order.
+type RowJoinHits = Vec<(usize, Vec<u32>)>;
 
 #[cfg(test)]
 mod tests {
@@ -323,5 +439,113 @@ mod tests {
             join_min_support: 2.0,
             ..JoinPipelineConfig::paper_default()
         });
+    }
+
+    #[test]
+    fn fingerprint_join_bit_identical_to_reference() {
+        // Enough rows for real chunking, duplicated target values for
+        // fan-out, and two transformations whose outputs overlap so the
+        // cross-transformation dedup is exercised.
+        let mut source: Vec<String> = Vec::new();
+        let mut target: Vec<String> = Vec::new();
+        for i in 0..29 {
+            source.push(format!("last{i:02}, first{i:02}"));
+            target.push(format!("f last{i:02}"));
+        }
+        target[7] = target[3].clone(); // duplicate target value
+        source.push(String::new());
+        target.push("orphan".into());
+        let pair = ColumnPair::aligned("fp", source, target);
+
+        let t1 = Transformation::new(vec![
+            Unit::split_substr(' ', 1, 0, 1),
+            Unit::literal(" "),
+            Unit::split(',', 0),
+        ]);
+        // Same outputs as t1 by a different program ("f" is a fixed-offset
+        // substring of every source row): the cross-transformation dedup
+        // rejects every one of its predictions.
+        let t2 = Transformation::new(vec![
+            Unit::substr(8, 9),
+            Unit::literal(" "),
+            Unit::split(',', 0),
+        ]);
+        let base = JoinPipelineConfig {
+            matching: RowMatchingStrategy::Golden,
+            ..JoinPipelineConfig::paper_default()
+        };
+        let oracle = crate::reference::equi_join_reference(
+            &pair,
+            [&t1, &t2],
+            &base.synthesis.normalize,
+        );
+        for threads in [1usize, 2, 3, 4, 16] {
+            let pipeline = JoinPipeline::new(base.clone().with_threads(threads));
+            assert_eq!(
+                pipeline.equi_join(&pair, [&t1, &t2]),
+                oracle,
+                "diverged at {threads} threads"
+            );
+        }
+        assert!(!oracle.is_empty());
+    }
+
+    #[test]
+    fn all_duplicate_target_values_fan_out_through_fingerprint_index() {
+        // Every target row holds the same value: one covered source row
+        // predicts pairs with all of them, in ascending target-row order.
+        let pair = ColumnPair {
+            name: "dup".into(),
+            source: vec!["abc, def".into()],
+            target: vec!["abc".into(), "abc".into(), "abc".into(), "abc".into()],
+            golden: vec![(0, 0), (0, 1), (0, 2), (0, 3)],
+        };
+        let t = Transformation::single(Unit::split(',', 0));
+        for threads in [1usize, 4] {
+            let pipeline =
+                JoinPipeline::new(JoinPipelineConfig::paper_default().with_threads(threads));
+            let predicted = pipeline.equi_join(&pair, [&t]);
+            assert_eq!(predicted, vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
+            assert_eq!(
+                predicted,
+                crate::reference::equi_join_reference(
+                    &pair,
+                    [&t],
+                    &pipeline.config().synthesis.normalize
+                )
+            );
+        }
+    }
+
+    #[test]
+    fn empty_columns_join_to_nothing() {
+        let t = Transformation::single(Unit::substr(0, 2));
+        let pipeline = JoinPipeline::new(JoinPipelineConfig::paper_default().with_threads(4));
+        let no_source = ColumnPair {
+            name: "ns".into(),
+            source: vec![],
+            target: vec!["ab".into()],
+            golden: vec![],
+        };
+        let no_target = ColumnPair {
+            name: "nt".into(),
+            source: vec!["ab".into()],
+            target: vec![],
+            golden: vec![],
+        };
+        assert!(pipeline.equi_join(&no_source, [&t]).is_empty());
+        assert!(pipeline.equi_join(&no_target, [&t]).is_empty());
+        assert!(pipeline.equi_join(&staff_pair(), []).is_empty());
+    }
+
+    #[test]
+    fn pipeline_outcome_thread_invariant() {
+        let pair = staff_pair();
+        let outcome_1 = JoinPipeline::new(JoinPipelineConfig::paper_default()).run(&pair);
+        let outcome_4 =
+            JoinPipeline::new(JoinPipelineConfig::paper_default().with_threads(4)).run(&pair);
+        assert_eq!(outcome_1.predicted_pairs, outcome_4.predicted_pairs);
+        assert_eq!(outcome_1.metrics, outcome_4.metrics);
+        assert_eq!(outcome_1.candidate_pairs, outcome_4.candidate_pairs);
     }
 }

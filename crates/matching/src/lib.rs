@@ -1,7 +1,8 @@
 //! # tjoin-matching
 //!
 //! Row matching: detecting candidate joinable row pairs between a source and
-//! a target column (Section 4.2.1 of the paper).
+//! a target column (Section 4.2.1 of the paper), built for repository-scale
+//! workloads where *many* column pairs are matched under one thread budget.
 //!
 //! Transformation synthesis assumes a set of (source, target) pairs that
 //! describe the same entity under different formatting. When such pairs are
@@ -11,7 +12,30 @@
 //! selected, and every target row containing a representative n-gram becomes
 //! a candidate pair (Algorithm 1).
 //!
-//! * [`ngram`] — the n-gram matcher and its configuration.
+//! # Planned parallel matching
+//!
+//! [`ngram::NGramMatcher::find_candidates`] runs Algorithm 1 as a planned
+//! two-phase scan, following the house pattern of the synthesis core's
+//! parallel coverage engine:
+//!
+//! 1. the shared read-only state — normalized columns, the two
+//!    [`tjoin_text::ColumnStats`] IRF sides, and the target
+//!    [`tjoin_text::NGramIndex`] — is built exactly once, independent of
+//!    thread count;
+//! 2. source rows are chunked across [`ngram::NGramMatcherConfig::threads`]
+//!    workers (the `SynthesisConfig::threads` convention), each scanning its
+//!    rows with per-size representative selection fused into one pass per
+//!    row (char boundaries computed once; no per-size re-extraction).
+//!
+//! Because candidate dedup keys include the source row, per-row scans are
+//! independent and a deterministic size-major assembly reproduces the
+//! serial discovery order exactly: output is **bit-identical at any thread
+//! count** to the retained oracle
+//! [`reference::find_candidates_reference`], which the differential suite
+//! in `crates/join/tests/proptest_join.rs` enforces.
+//!
+//! * [`ngram`] — the planned-parallel n-gram matcher and its configuration.
+//! * [`reference`] — the retained serial size-major oracle loop.
 //! * [`golden`] — the oracle matcher backed by a ground-truth mapping (the
 //!   paper's "golden row matching" rows in Tables 2 and 4).
 //! * [`metrics`] — precision / recall / F1 of a candidate pair set against
@@ -23,10 +47,12 @@
 pub mod golden;
 pub mod metrics;
 pub mod ngram;
+pub mod reference;
 
 pub use golden::golden_pairs;
 pub use metrics::{evaluate_pairs, MatchingMetrics};
 pub use ngram::{NGramMatcher, NGramMatcherConfig, RowMatch};
+pub use reference::find_candidates_reference;
 
 /// Which row-matching mode produced a pair set; experiment tables report
 /// results under both.

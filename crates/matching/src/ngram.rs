@@ -1,15 +1,44 @@
-//! The representative-n-gram row matcher (Algorithm 1 of the paper).
+//! The representative-n-gram row matcher (Algorithm 1 of the paper), as a
+//! planned parallel scan.
 //!
 //! For each source row and each n-gram size `n0 ≤ n ≤ nmax`, the n-gram with
 //! the highest Rscore (rare in both columns, equations 1–2) is the row's
 //! *representative* of that size; every target row containing at least one
 //! representative becomes a candidate joinable pair. An inverted n-gram
 //! index over the target column makes the lookup O(1) per representative.
+//!
+//! # Execution plan
+//!
+//! The scan runs in two phases, mirroring the synthesis core's planned
+//! coverage execution (PR 3):
+//!
+//! 1. **Shared read-only state, built once.** Both columns are normalized,
+//!    then [`ColumnStats`] for the two IRF sides and the target
+//!    [`NGramIndex`] are constructed a single time and shared by every
+//!    worker — the expensive indexing work is independent of the thread
+//!    count.
+//! 2. **Row-chunked scan.** Source rows are split into contiguous chunks
+//!    across [`NGramMatcherConfig::threads`] workers (the same thread-budget
+//!    convention as `SynthesisConfig::threads`). Each worker scans its rows
+//!    with per-size representative selection *fused into one pass per row*:
+//!    the row's char boundaries are computed once and every size slides a
+//!    window over them, instead of re-extracting (and re-allocating) the
+//!    n-gram list per size as the retained oracle does.
+//!
+//! Determinism: candidate dedup keys are `(source_row, target_row)`, so the
+//! oracle's global seen-set only ever rejects repeats *within* a source row
+//! — per-row scans are independent. Each worker records, per row, the newly
+//! matched target rows grouped by the size that found them; the final
+//! assembly emits them in the oracle's size-major order (sizes outer, rows
+//! inner). The output is therefore bit-identical to
+//! [`crate::reference::find_candidates_reference`] — same pairs, same order
+//! — at any thread count, which `crates/join/tests/proptest_join.rs`
+//! enforces differentially.
 
 use serde::{Deserialize, Serialize};
-use tjoin_datasets::ColumnPair;
+use tjoin_datasets::{row_id, ColumnPair};
 use tjoin_text::{
-    char_ngrams, normalize_for_matching, ColumnStats, FxHashSet, NGramIndex, NormalizeOptions,
+    chunk_map, normalize_for_matching, ColumnStats, FxHashSet, NGramIndex, NormalizeOptions,
 };
 
 /// Configuration of the [`NGramMatcher`].
@@ -27,6 +56,10 @@ pub struct NGramMatcherConfig {
     /// (`None` = no cap). This is an engineering guard for pathological
     /// columns; the paper's experiments run uncapped.
     pub max_matches_per_representative: Option<usize>,
+    /// Number of worker threads for the row scan (1 = sequential) — the
+    /// workspace thread-budget convention shared with
+    /// `SynthesisConfig::threads`. Output is bit-identical at any value.
+    pub threads: usize,
 }
 
 impl Default for NGramMatcherConfig {
@@ -36,7 +69,16 @@ impl Default for NGramMatcherConfig {
             n_max: 20,
             normalize: NormalizeOptions::default(),
             max_matches_per_representative: None,
+            threads: 1,
         }
+    }
+}
+
+impl NGramMatcherConfig {
+    /// Builder-style setter for the thread count (clamped to at least one).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -48,6 +90,11 @@ pub struct RowMatch {
     /// Target row index.
     pub target_row: u32,
 }
+
+/// One source row's scan result: for each n-gram size whose representative
+/// matched something new, the newly matched target rows in index-lookup
+/// order. Sizes appear in increasing order.
+type RowHits = Vec<(usize, Vec<u32>)>;
 
 /// The representative-n-gram row matcher.
 #[derive(Debug, Clone)]
@@ -89,8 +136,12 @@ impl NGramMatcher {
     }
 
     /// Runs Algorithm 1: finds candidate joinable row pairs between the
-    /// source and target columns of `pair`.
+    /// source and target columns of `pair`, chunking source rows across the
+    /// configured worker threads (see the module docs; output is
+    /// bit-identical to [`crate::reference::find_candidates_reference`] at
+    /// any thread count).
     pub fn find_candidates(&self, pair: &ColumnPair) -> Vec<RowMatch> {
+        pair.assert_row_indexable();
         let source: Vec<String> = pair
             .source
             .iter()
@@ -102,51 +153,91 @@ impl NGramMatcher {
             .map(|v| normalize_for_matching(v, &self.config.normalize))
             .collect();
 
-        // Column statistics for IRF on both sides and the inverted index on
-        // the target column for the containment lookup.
+        // Shared read-only scan state, built once for all workers: column
+        // statistics for IRF on both sides and the inverted index on the
+        // target column for the containment lookup.
         let source_stats = ColumnStats::build(&source, self.config.n_min, self.config.n_max);
         let target_stats = ColumnStats::build(&target, self.config.n_min, self.config.n_max);
         let target_index = NGramIndex::build(&target, self.config.n_min, self.config.n_max);
 
-        let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
-        let mut out: Vec<RowMatch> = Vec::new();
+        // Contiguous row chunks across the thread budget, concatenated in
+        // order — the per-row sequence is the serial scan's at any budget.
+        let per_row: Vec<RowHits> = chunk_map(&source, self.config.threads, |row| {
+            self.scan_row(row, &source_stats, &target_stats, &target_index)
+        });
 
+        // Assembly in the oracle's size-major order. Each row's hits are
+        // sorted by size, so one cursor per row makes this linear in the
+        // output.
+        let mut cursors = vec![0usize; per_row.len()];
+        let mut out: Vec<RowMatch> = Vec::new();
         for n in self.config.n_min..=self.config.n_max {
-            for (row_id, row) in source.iter().enumerate() {
-                let grams = char_ngrams(row, n);
-                if grams.is_empty() {
-                    continue;
-                }
-                // argmax Rscore over the row's n-grams of this size.
-                let mut best: Option<(&str, f64)> = None;
-                for g in grams {
-                    let score = source_stats.irf(g) * target_stats.irf(g);
-                    if score <= 0.0 {
-                        continue;
+            for (row_idx, hits) in per_row.iter().enumerate() {
+                let cursor = &mut cursors[row_idx];
+                if *cursor < hits.len() && hits[*cursor].0 == n {
+                    let source_row = row_id(row_idx);
+                    for &target_row in &hits[*cursor].1 {
+                        out.push(RowMatch { source_row, target_row });
                     }
-                    match best {
-                        Some((_, s)) if s >= score => {}
-                        _ => best = Some((g, score)),
-                    }
-                }
-                let Some((rep, _)) = best else { continue };
-                let matches = target_index.rows_containing(rep);
-                if let Some(cap) = self.config.max_matches_per_representative {
-                    if matches.len() > cap {
-                        continue;
-                    }
-                }
-                for &t in matches {
-                    if seen.insert((row_id as u32, t)) {
-                        out.push(RowMatch {
-                            source_row: row_id as u32,
-                            target_row: t,
-                        });
-                    }
+                    *cursor += 1;
                 }
             }
         }
         out
+    }
+
+    /// Scans one normalized source row: selects the representative n-gram of
+    /// every size in one fused pass (char boundaries computed once, each
+    /// size slides a window over them) and expands the representatives
+    /// against the target index, deduplicating target rows across sizes.
+    fn scan_row(
+        &self,
+        row: &str,
+        source_stats: &ColumnStats,
+        target_stats: &ColumnStats,
+        target_index: &NGramIndex,
+    ) -> RowHits {
+        let boundaries: Vec<usize> = row
+            .char_indices()
+            .map(|(b, _)| b)
+            .chain(std::iter::once(row.len()))
+            .collect();
+        let chars = boundaries.len() - 1;
+        let mut hits: RowHits = Vec::new();
+        if chars < self.config.n_min {
+            // Row shorter than the smallest size: no n-gram of any
+            // requested size exists (the oracle's empty-grams `continue`).
+            return hits;
+        }
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        for n in self.config.n_min..=self.config.n_max.min(chars) {
+            // argmax Rscore over the row's n-grams of this size; ties keep
+            // the first gram, exactly as the oracle's `s >= score` guard.
+            let mut best: Option<(&str, f64)> = None;
+            for i in 0..=chars - n {
+                let g = &row[boundaries[i]..boundaries[i + n]];
+                let score = source_stats.irf(g) * target_stats.irf(g);
+                if score <= 0.0 {
+                    continue;
+                }
+                match best {
+                    Some((_, s)) if s >= score => {}
+                    _ => best = Some((g, score)),
+                }
+            }
+            let Some((rep, _)) = best else { continue };
+            let matches = target_index.rows_containing(rep);
+            if let Some(cap) = self.config.max_matches_per_representative {
+                if matches.len() > cap {
+                    continue;
+                }
+            }
+            let new: Vec<u32> = matches.iter().copied().filter(|&t| seen.insert(t)).collect();
+            if !new.is_empty() {
+                hits.push((n, new));
+            }
+        }
+        hits
     }
 
     /// Materializes candidate pairs as (source value, target value) strings —
@@ -169,6 +260,7 @@ impl NGramMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::find_candidates_reference;
 
     fn staff_pair() -> ColumnPair {
         ColumnPair::aligned(
@@ -301,5 +393,123 @@ mod tests {
             n_min: 0,
             ..NGramMatcherConfig::default()
         });
+    }
+
+    #[test]
+    fn parallel_scan_bit_identical_to_reference() {
+        // Enough rows that 2 and 4 workers chunk differently; duplicated
+        // and empty values exercise the dedup and short-row paths.
+        let mut source: Vec<String> = Vec::new();
+        let mut target: Vec<String> = Vec::new();
+        for i in 0..37 {
+            source.push(format!("lastname{i:02}, firstname{i:02}"));
+            target.push(format!("f{i:02} lastname{i:02}"));
+        }
+        source.push(String::new());
+        target.push("orphan value".into());
+        source.push("ab".into()); // shorter than n_min = 4
+        target.push("f00 lastname00".into()); // duplicate target value
+        let pair = ColumnPair::aligned("par", source, target);
+
+        let config = NGramMatcherConfig::default();
+        let oracle = find_candidates_reference(&config, &pair);
+        for threads in [1usize, 2, 3, 4, 16] {
+            let matcher = NGramMatcher::new(config.clone().with_threads(threads));
+            assert_eq!(
+                matcher.find_candidates(&pair),
+                oracle,
+                "diverged at {threads} threads"
+            );
+        }
+        assert!(!oracle.is_empty());
+    }
+
+    #[test]
+    fn empty_source_column_yields_nothing() {
+        let pair = ColumnPair {
+            name: "empty-source".into(),
+            source: vec![],
+            target: vec!["abcd".into(), "efgh".into()],
+            golden: vec![],
+        };
+        for threads in [1usize, 4] {
+            let matcher =
+                NGramMatcher::new(NGramMatcherConfig::default().with_threads(threads));
+            assert!(matcher.find_candidates(&pair).is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_target_column_yields_nothing() {
+        let pair = ColumnPair {
+            name: "empty-target".into(),
+            source: vec!["abcd".into(), "efgh".into()],
+            target: vec![],
+            golden: vec![],
+        };
+        for threads in [1usize, 4] {
+            let matcher =
+                NGramMatcher::new(NGramMatcherConfig::default().with_threads(threads));
+            assert!(matcher.find_candidates(&pair).is_empty());
+        }
+    }
+
+    #[test]
+    fn rows_shorter_than_n_min_are_skipped_not_crashed() {
+        let pair = ColumnPair::aligned(
+            "short",
+            vec!["ab".into(), "c".into(), String::new(), "abcdefgh".into()],
+            vec!["ab".into(), "c".into(), "x".into(), "abcdefgh".into()],
+        );
+        let config = NGramMatcherConfig::default(); // n_min = 4
+        let oracle = find_candidates_reference(&config, &pair);
+        let found = NGramMatcher::new(config.clone().with_threads(4)).find_candidates(&pair);
+        assert_eq!(found, oracle);
+        // Only the one long row can produce a representative.
+        assert!(found.iter().all(|m| m.source_row == 3));
+        assert!(!found.is_empty());
+    }
+
+    #[test]
+    fn all_representatives_capped_yields_nothing_for_that_row() {
+        // Row 0's every n-gram expands to both targets (they share all its
+        // grams), so under a cap of 1 every size is non-discriminative and
+        // the row contributes nothing — while row 1 still matches uniquely.
+        let pair = ColumnPair {
+            name: "capped-row".into(),
+            source: vec!["aaaa".into(), "unique-row zzz".into()],
+            target: vec!["aaaa 1".into(), "aaaa 2 unique-row".into()],
+            golden: vec![(0, 0), (1, 1)],
+        };
+        let config = NGramMatcherConfig {
+            max_matches_per_representative: Some(1),
+            ..NGramMatcherConfig::default()
+        };
+        let oracle = find_candidates_reference(&config, &pair);
+        for threads in [1usize, 2, 4] {
+            let found = NGramMatcher::new(config.clone().with_threads(threads))
+                .find_candidates(&pair);
+            assert_eq!(found, oracle);
+            assert!(found.iter().all(|m| m.source_row == 1), "{found:?}");
+            assert!(!found.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_duplicate_target_values_fan_out() {
+        // Every target row holds the same value: a matching source row must
+        // pair with all of them, in posting-list (row-id) order.
+        let pair = ColumnPair {
+            name: "dup-targets".into(),
+            source: vec!["alpha beta".into()],
+            target: vec!["alpha".into(), "alpha".into(), "alpha".into()],
+            golden: vec![(0, 0), (0, 1), (0, 2)],
+        };
+        let config = NGramMatcherConfig::default();
+        let oracle = find_candidates_reference(&config, &pair);
+        let found = NGramMatcher::new(config.clone().with_threads(4)).find_candidates(&pair);
+        assert_eq!(found, oracle);
+        let targets: Vec<u32> = found.iter().map(|m| m.target_row).collect();
+        assert_eq!(targets, vec![0, 1, 2]);
     }
 }

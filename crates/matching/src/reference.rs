@@ -1,0 +1,115 @@
+//! The retained serial row-matching oracle.
+//!
+//! This is the pre-parallel `NGramMatcher::find_candidates` loop, kept
+//! verbatim as the differential oracle for the planned parallel scan in
+//! [`crate::ngram`]: size-major iteration (n-gram sizes outer, source rows
+//! inner), per-size re-extraction of the row's n-grams, and a global
+//! seen-set dedup in discovery order. The parallel matcher must produce
+//! bit-identical, identically ordered [`RowMatch`] output at any thread
+//! count; `crates/join/tests/proptest_join.rs` holds it to that.
+
+use crate::ngram::{NGramMatcherConfig, RowMatch};
+use tjoin_datasets::{row_id, ColumnPair};
+use tjoin_text::{char_ngrams, normalize_for_matching, ColumnStats, FxHashSet, NGramIndex};
+
+/// Runs Algorithm 1 with the naive size-major loop (the retained oracle).
+///
+/// The `threads` field of the configuration is ignored: the oracle is
+/// always serial.
+pub fn find_candidates_reference(config: &NGramMatcherConfig, pair: &ColumnPair) -> Vec<RowMatch> {
+    pair.assert_row_indexable();
+    let source: Vec<String> = pair
+        .source
+        .iter()
+        .map(|v| normalize_for_matching(v, &config.normalize))
+        .collect();
+    let target: Vec<String> = pair
+        .target
+        .iter()
+        .map(|v| normalize_for_matching(v, &config.normalize))
+        .collect();
+
+    // Column statistics for IRF on both sides and the inverted index on
+    // the target column for the containment lookup.
+    let source_stats = ColumnStats::build(&source, config.n_min, config.n_max);
+    let target_stats = ColumnStats::build(&target, config.n_min, config.n_max);
+    let target_index = NGramIndex::build(&target, config.n_min, config.n_max);
+
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut out: Vec<RowMatch> = Vec::new();
+
+    for n in config.n_min..=config.n_max {
+        for (row_idx, row) in source.iter().enumerate() {
+            let grams = char_ngrams(row, n);
+            if grams.is_empty() {
+                continue;
+            }
+            // argmax Rscore over the row's n-grams of this size.
+            let mut best: Option<(&str, f64)> = None;
+            for g in grams {
+                let score = source_stats.irf(g) * target_stats.irf(g);
+                if score <= 0.0 {
+                    continue;
+                }
+                match best {
+                    Some((_, s)) if s >= score => {}
+                    _ => best = Some((g, score)),
+                }
+            }
+            let Some((rep, _)) = best else { continue };
+            let matches = target_index.rows_containing(rep);
+            if let Some(cap) = config.max_matches_per_representative {
+                if matches.len() > cap {
+                    continue;
+                }
+            }
+            for &t in matches {
+                if seen.insert((row_id(row_idx), t)) {
+                    out.push(RowMatch {
+                        source_row: row_id(row_idx),
+                        target_row: t,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram::NGramMatcher;
+
+    #[test]
+    fn oracle_matches_production_matcher_on_the_paper_example() {
+        let pair = ColumnPair::aligned(
+            "staff",
+            vec!["Rafiei, Davood".into(), "Bowling, Michael".into()],
+            vec!["D Rafiei".into(), "M Bowling".into()],
+        );
+        let config = NGramMatcherConfig::default();
+        let reference = find_candidates_reference(&config, &pair);
+        let production = NGramMatcher::new(config).find_candidates(&pair);
+        assert_eq!(reference, production);
+        assert!(!reference.is_empty());
+    }
+
+    #[test]
+    fn oracle_ignores_thread_count() {
+        let pair = ColumnPair::aligned(
+            "t",
+            vec!["abcd efgh".into(), "ijkl mnop".into()],
+            vec!["abcd".into(), "ijkl".into()],
+        );
+        let serial = find_candidates_reference(&NGramMatcherConfig::default(), &pair);
+        let threaded = find_candidates_reference(
+            &NGramMatcherConfig {
+                threads: 4,
+                ..NGramMatcherConfig::default()
+            },
+            &pair,
+        );
+        assert_eq!(serial, threaded);
+    }
+}

@@ -12,43 +12,10 @@
 //! fingerprints never collide on the indexed corpus (at 64 bits, a corpus
 //! would need billions of distinct grams before collisions become likely).
 
+use crate::fingerprint::fingerprint64;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ngram::char_ngrams;
 use serde::{Deserialize, Serialize};
-
-/// The splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
-#[inline]
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// The 64-bit fingerprint posting lists are keyed by.
-///
-/// Seeded with the gram's byte length (so prefixes of different sizes cannot
-/// collide structurally) and mixed with the splitmix64 finalizer per 8-byte
-/// chunk. The rotate-multiply Fx hash is NOT used here: it lacks avalanche
-/// and produces real collisions on short structured grams, which is fine for
-/// a `HashMap`'s bucket index but not for an identity-carrying fingerprint.
-#[inline]
-fn gram_fingerprint(gram: &str) -> u64 {
-    let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (gram.len() as u64);
-    let mut chunks = gram.as_bytes().chunks_exact(8);
-    for chunk in &mut chunks {
-        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-        h = mix64(h ^ word);
-    }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut word = 0u64;
-        for (i, b) in rem.iter().enumerate() {
-            word |= (*b as u64) << (8 * i);
-        }
-        h = mix64(h ^ word);
-    }
-    mix64(h)
-}
 
 /// An inverted index from character n-grams (sizes `n_min..=n_max`) to the
 /// ids of the rows containing them.
@@ -86,7 +53,7 @@ impl NGramIndex {
                 }
             }
             for g in seen {
-                let key = gram_fingerprint(g);
+                let key = fingerprint64(g);
                 #[cfg(debug_assertions)]
                 {
                     let prev = shadow.entry(key).or_insert_with(|| g.to_owned());
@@ -128,7 +95,7 @@ impl NGramIndex {
     /// The sorted ids of rows containing `gram`; empty when unseen.
     pub fn rows_containing(&self, gram: &str) -> &[u32] {
         self.postings
-            .get(&gram_fingerprint(gram))
+            .get(&fingerprint64(gram))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }

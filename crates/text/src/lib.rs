@@ -15,6 +15,11 @@
 //! * [`index`] — an inverted n-gram index from n-grams to row ids (Section
 //!   4.2.1: "the inverted index is organized as a hash with every n-gram ...
 //!   as a key and the row ids where the n-gram appears as a data value").
+//! * [`fingerprint`] — 64-bit identity-carrying string fingerprints shared
+//!   by the inverted index's posting keys and the join layer's
+//!   fingerprint equi-join.
+//! * [`par`] — the deterministic chunked parallel map shared by the
+//!   matcher's row scan, the equi-join apply loop, and the batch runner.
 //! * [`scoring`] — Inverse Row Frequency (IRF, Eq. 1) and the representative
 //!   score (Rscore, Eq. 2).
 //! * [`normalize`] — case/whitespace normalization applied before matching
@@ -24,19 +29,23 @@
 #![warn(rust_2018_idioms)]
 
 pub mod common;
+pub mod fingerprint;
 pub mod fxhash;
 pub mod index;
 pub mod ngram;
 pub mod normalize;
+pub mod par;
 pub mod scoring;
 pub mod tokenize;
 
 pub use common::{common_substring_matches, lcs_ratio, longest_common_substring, CommonMatch};
+pub use fingerprint::fingerprint64;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::NGramIndex;
 pub use ngram::{
     char_ngrams, char_ngrams_in_range, count_distinct_ngrams, ngram_containment, ngram_jaccard,
 };
 pub use normalize::{normalize_for_matching, NormalizeOptions};
+pub use par::chunk_map;
 pub use scoring::{irf, rscore, ColumnStats};
 pub use tokenize::{is_separator_char, tokenize_with_separators, Token, TokenKind};

@@ -1,0 +1,75 @@
+//! Deterministic chunked parallel mapping.
+//!
+//! The matching and join layers parallelize the same way: split a slice
+//! into contiguous chunks across a worker budget, map every item, and
+//! concatenate the per-chunk results *in chunk order* — so the output is
+//! exactly the serial `items.iter().map(f).collect()` regardless of the
+//! worker count, and per-item results can be reassembled deterministically
+//! by the caller. This module holds that pattern once; the
+//! in-order-concatenation invariant every differential oracle suite leans
+//! on lives here instead of being re-rolled per call site.
+
+/// Maps `f` over `items` using up to `workers` scoped threads (one
+/// contiguous chunk per worker), returning results in item order.
+///
+/// A budget of 0 or 1 — or fewer than two items — runs serially with no
+/// thread overhead. Output is identical at any budget; only wall-clock
+/// changes. Panics in `f` propagate to the caller.
+pub fn chunk_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("chunk_map worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_at_any_budget() {
+        let items: Vec<u32> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3).collect();
+        for workers in [0usize, 1, 2, 3, 4, 16, 200] {
+            assert_eq!(
+                chunk_map(&items, workers, |&x| u64::from(x) * 3),
+                expected,
+                "diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        assert!(chunk_map(&Vec::<u8>::new(), 4, |&x| x).is_empty());
+        assert_eq!(chunk_map(&[7u8], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            chunk_map(&[1u8, 2, 3, 4], 2, |&x| {
+                assert!(x < 3, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -52,8 +52,13 @@ pub use tjoin_units as units;
 pub mod prelude {
     pub use tjoin_baselines::{AutoFuzzyJoin, AutoFuzzyJoinConfig, AutoJoin, AutoJoinConfig};
     pub use tjoin_core::{CoverageAxis, SynthesisConfig, SynthesisEngine, SynthesisResult};
-    pub use tjoin_datasets::{BenchmarkKind, ColumnPair, SyntheticConfig, Table, TablePair};
-    pub use tjoin_join::{JoinPipeline, JoinPipelineConfig, RowMatchingStrategy};
+    pub use tjoin_datasets::{
+        BenchmarkKind, ColumnPair, RepositoryConfig, SyntheticConfig, Table, TablePair,
+    };
+    pub use tjoin_join::{
+        BatchJoinOutcome, BatchJoinRunner, JoinPipeline, JoinPipelineConfig, RepositoryMetrics,
+        RowMatchingStrategy,
+    };
     pub use tjoin_matching::{MatchingMode, NGramMatcher, NGramMatcherConfig};
     pub use tjoin_units::{CharStr, Transformation, TransformationSet, Unit, UnitKind};
 }

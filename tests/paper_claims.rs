@@ -3,6 +3,57 @@
 use tabjoin::prelude::*;
 use tabjoin::units::UnitKind;
 
+/// Repository-scale batching must not degrade quality (the premise under
+/// which GXJoin/QJoin-style many-column-pairs discovery is run through one
+/// shared thread budget): on a generated heterogeneous repository, every
+/// joinable pair's F1 under the batch runner is at least the per-pair
+/// pipeline's, and decoy pairs stay below the support floor — no
+/// transformation survives filtering, so nothing is predicted for them.
+#[test]
+fn batch_join_preserves_per_pair_quality_and_rejects_decoys() {
+    let repository = RepositoryConfig::new(8, 60).generate(11);
+    assert!(
+        repository.iter().any(|p| p.name.ends_with("-decoy")),
+        "repository must contain a decoy"
+    );
+    let config = JoinPipelineConfig::paper_default(); // 5% support floor
+    let batch = BatchJoinRunner::new(config.clone(), 4).run(&repository);
+    assert_eq!(batch.reports.len(), repository.len());
+
+    for (pair, report) in repository.iter().zip(&batch.reports) {
+        if pair.name.ends_with("-decoy") {
+            assert!(
+                report.outcome.transformations.is_empty(),
+                "decoy {} kept transformations above the support floor: {}",
+                pair.name,
+                report.outcome.transformations
+            );
+            assert!(
+                report.outcome.predicted_pairs.is_empty(),
+                "decoy {} predicted pairs {:?}",
+                pair.name,
+                report.outcome.predicted_pairs
+            );
+        } else {
+            let solo = JoinPipeline::new(config.clone()).run(pair);
+            assert!(
+                report.outcome.metrics.f1 >= solo.metrics.f1 - 1e-9,
+                "batch degraded {}: {} vs {}",
+                pair.name,
+                report.outcome.metrics.f1,
+                solo.metrics.f1
+            );
+            assert!(
+                report.outcome.metrics.f1 > 0.5,
+                "joinable pair {} barely joined: {:?}",
+                pair.name,
+                report.outcome.metrics
+            );
+        }
+    }
+    assert!(batch.metrics.micro.f1 > 0.5, "{:?}", batch.metrics);
+}
+
 /// Lemma 1: every SplitSplitSubstr program over the paper's example formats
 /// is expressible with the four units the paper keeps. (The unit-level
 /// property test lives in `tjoin-units`; this checks the engine never needs
