@@ -1,4 +1,4 @@
-//! Repository-scale matching + join benchmark, tracking three claims in
+//! Repository-scale matching + join benchmark, tracking four claims in
 //! `BENCH_join.json` at the workspace root:
 //!
 //! * **Serial vs parallel matcher**: the planned parallel scan (shared
@@ -11,8 +11,15 @@
 //!   (`tjoin_join::reference`) against the fingerprint join (normalize
 //!   once, u64 buckets, exact confirm) at 1 and 4 threads.
 //! * **Batch runner throughput**: the heterogeneous generated repository
-//!   driven by `BatchJoinRunner` at thread budgets 1 and 4, with identical
-//!   outcomes asserted.
+//!   driven by the work-stealing `BatchJoinRunner` at thread budgets 1 and
+//!   4, with identical outcomes asserted.
+//! * **Skewed repository — work stealing vs static split**: one ~8x
+//!   dominant pair among small peers, the shape where the static chunk
+//!   split strands workers. Outcomes asserted identical both ways; the
+//!   JSON records the steal count and the shared-corpus counters
+//!   (normalizations saved, asserted thread-count-invariant) — on this
+//!   one-core box the wall-clock gap is scheduling noise, so the counters
+//!   are the tracked claim.
 //!
 //! Outputs are asserted bit-identical across every leg before timing.
 
@@ -150,8 +157,16 @@ fn join_throughput_comparison(_c: &mut Criterion) {
     let batch_4 = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), THREADS);
     let outcome_1 = batch_1.run(&repository);
     let outcome_4 = batch_4.run(&repository);
-    for (a, b) in outcome_1.reports.iter().zip(&outcome_4.reports) {
+    let outcome_static = batch_4.run_static(&repository);
+    for ((a, b), s) in outcome_1
+        .reports
+        .iter()
+        .zip(&outcome_4.reports)
+        .zip(&outcome_static.reports)
+    {
         assert_eq!(a.outcome.predicted_pairs, b.outcome.predicted_pairs, "{}", a.name);
+        assert_eq!(a.outcome.predicted_pairs, s.outcome.predicted_pairs, "{}", a.name);
+        assert_eq!(a.outcome.metrics, s.outcome.metrics, "{}", a.name);
     }
     assert!(outcome_1.metrics.joined_pairs >= 6, "{:?}", outcome_1.metrics);
 
@@ -163,13 +178,59 @@ fn join_throughput_comparison(_c: &mut Criterion) {
         black_box(batch_4.run(black_box(&repository)));
     });
 
+    // --- Leg 4: skewed repository — work stealing vs the static split. ---
+    // One ~8x dominant pair among small peers: the static split parks it on
+    // one worker's chunk, the queue lets every other worker drain the rest.
+    let mut skewed = RepositoryConfig::new(6, 50).with_skew(8.0).generate(13);
+    assert!(skewed[0].source.len() >= 6 * skewed[1].source.len());
+    // Re-probe one query column against two other pairs' targets (the
+    // QJoin repository-discovery shape: no golden mapping, likely
+    // unjoinable): the shared corpus serves the repeated column from
+    // cache, which the JSON's normalizations_saved counter tracks.
+    for i in [2usize, 3] {
+        let source = skewed[1].source.clone();
+        let target: Vec<String> = (0..source.len())
+            .map(|r| skewed[i].target[r % skewed[i].target.len()].clone())
+            .collect();
+        skewed.push(ColumnPair::new(format!("reprobe-{i}"), source, target, Vec::new()));
+    }
+    let skew_runner = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), THREADS);
+    let skew_stealing = skew_runner.run(&skewed);
+    let skew_static = skew_runner.run_static(&skewed);
+    for (a, b) in skew_stealing.reports.iter().zip(&skew_static.reports) {
+        assert_eq!(a.outcome.predicted_pairs, b.outcome.predicted_pairs, "{}", a.name);
+        assert_eq!(a.outcome.metrics, b.outcome.metrics, "{}", a.name);
+    }
+    assert_eq!(skew_stealing.metrics.micro, skew_static.metrics.micro);
+    // The corpus counters are content-driven: identical at any thread
+    // budget (the per-column normalization count cannot depend on the
+    // worker count).
+    let skew_corpus = skew_stealing.scheduler.corpus.expect("corpus present");
+    for threads in [1usize, 2] {
+        let other = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), threads)
+            .run(&skewed)
+            .scheduler
+            .corpus
+            .expect("corpus present");
+        assert_eq!(other, skew_corpus, "corpus counters diverged at {threads} threads");
+    }
+
+    let skew_samples = 3;
+    let skew_static_secs = time_seconds(skew_samples, || {
+        black_box(skew_runner.run_static(black_box(&skewed)));
+    });
+    let skew_stealing_secs = time_seconds(skew_samples, || {
+        black_box(skew_runner.run(black_box(&skewed)));
+    });
+
     let matcher_fused_speedup = m_reference_secs / m_serial_secs;
     let matcher_parallel_speedup = m_serial_secs / m_parallel_secs;
     let join_fingerprint_speedup = j_reference_secs / j_fingerprint_secs;
     let join_parallel_speedup = j_fingerprint_secs / j_fingerprint_4t_secs;
     let batch_speedup = b_serial_secs / b_parallel_secs;
+    let skew_speedup = skew_static_secs / skew_stealing_secs;
     let summary = format!(
-        "{{\n  \"benchmark\": \"join_throughput\",\n  \"threads\": {THREADS},\n  \"matcher\": {{\n    \"rows\": {matcher_rows},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {m_reference_secs:.6},\n    \"fused_serial_median_seconds\": {m_serial_secs:.6},\n    \"parallel_median_seconds\": {m_parallel_secs:.6},\n    \"speedup_fused_vs_reference\": {matcher_fused_speedup:.2},\n    \"speedup_parallel_vs_fused_serial\": {matcher_parallel_speedup:.2},\n    \"candidates\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"equi_join\": {{\n    \"rows\": {join_rows},\n    \"transformations\": {},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {j_reference_secs:.6},\n    \"fingerprint_median_seconds\": {j_fingerprint_secs:.6},\n    \"fingerprint_parallel_median_seconds\": {j_fingerprint_4t_secs:.6},\n    \"speedup_fingerprint_vs_reference\": {join_fingerprint_speedup:.2},\n    \"speedup_parallel_vs_serial_fingerprint\": {join_parallel_speedup:.2},\n    \"predicted_pairs\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"batch\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 80,\n    \"samples\": {batch_samples},\n    \"budget_1_median_seconds\": {b_serial_secs:.6},\n    \"budget_4_median_seconds\": {b_parallel_secs:.6},\n    \"speedup_budget_4_vs_1\": {batch_speedup:.2},\n    \"joined_pairs\": {},\n    \"micro_f1\": {:.4},\n    \"macro_f1\": {:.4},\n    \"outcomes_bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"join_throughput\",\n  \"threads\": {THREADS},\n  \"matcher\": {{\n    \"rows\": {matcher_rows},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {m_reference_secs:.6},\n    \"fused_serial_median_seconds\": {m_serial_secs:.6},\n    \"parallel_median_seconds\": {m_parallel_secs:.6},\n    \"speedup_fused_vs_reference\": {matcher_fused_speedup:.2},\n    \"speedup_parallel_vs_fused_serial\": {matcher_parallel_speedup:.2},\n    \"candidates\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"equi_join\": {{\n    \"rows\": {join_rows},\n    \"transformations\": {},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {j_reference_secs:.6},\n    \"fingerprint_median_seconds\": {j_fingerprint_secs:.6},\n    \"fingerprint_parallel_median_seconds\": {j_fingerprint_4t_secs:.6},\n    \"speedup_fingerprint_vs_reference\": {join_fingerprint_speedup:.2},\n    \"speedup_parallel_vs_serial_fingerprint\": {join_parallel_speedup:.2},\n    \"predicted_pairs\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"batch\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 80,\n    \"samples\": {batch_samples},\n    \"budget_1_median_seconds\": {b_serial_secs:.6},\n    \"budget_4_median_seconds\": {b_parallel_secs:.6},\n    \"speedup_budget_4_vs_1\": {batch_speedup:.2},\n    \"joined_pairs\": {},\n    \"micro_f1\": {:.4},\n    \"macro_f1\": {:.4},\n    \"outcomes_bit_identical\": true\n  }},\n  \"batch_skew\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 50,\n    \"skew\": 8.0,\n    \"dominant_pair_rows\": {},\n    \"samples\": {skew_samples},\n    \"static_split_median_seconds\": {skew_static_secs:.6},\n    \"work_stealing_median_seconds\": {skew_stealing_secs:.6},\n    \"speedup_stealing_vs_static\": {skew_speedup:.2},\n    \"stolen_tasks\": {},\n    \"corpus_columns_interned\": {},\n    \"corpus_normalizations_saved\": {},\n    \"corpus_stats_reused\": {},\n    \"corpus_counts_thread_invariant\": true,\n    \"outcomes_bit_identical\": true\n  }}\n}}\n",
         reference_matches.len(),
         transformations.len(),
         reference_pairs.len(),
@@ -177,6 +238,12 @@ fn join_throughput_comparison(_c: &mut Criterion) {
         outcome_1.metrics.joined_pairs,
         outcome_1.metrics.micro.f1,
         outcome_1.metrics.macro_f1,
+        skewed.len(),
+        skewed[0].source.len(),
+        skew_stealing.scheduler.stolen_tasks,
+        skew_corpus.columns_interned,
+        skew_corpus.normalizations_saved(),
+        skew_corpus.stats_hits + skew_corpus.index_hits,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.json");
     std::fs::write(path, &summary).expect("write BENCH_join.json");
@@ -189,6 +256,13 @@ fn join_throughput_comparison(_c: &mut Criterion) {
          ({j_reference_secs:.4}s -> {j_fingerprint_secs:.4}s), parallel {join_parallel_speedup:.2}x"
     );
     println!("batch: budget 4 {batch_speedup:.2}x over budget 1 ({b_serial_secs:.4}s -> {b_parallel_secs:.4}s)");
+    println!(
+        "batch_skew: stealing {skew_speedup:.2}x over static split \
+         ({skew_static_secs:.4}s -> {skew_stealing_secs:.4}s), {} stolen tasks, \
+         {} column normalizations saved by the corpus",
+        skew_stealing.scheduler.stolen_tasks,
+        skew_corpus.normalizations_saved(),
+    );
     println!("summary written to {path}");
     // Hard gates are output identity (asserted above). Wall-clock ratios
     // are *tracked* in the JSON, not tightly gated: medians of 5-7 samples
@@ -205,6 +279,11 @@ fn join_throughput_comparison(_c: &mut Criterion) {
         "parallel legs collapsed: matcher {matcher_parallel_speedup:.2}x, \
          join {join_parallel_speedup:.2}x, batch {batch_speedup:.2}x \
          (one-core box — thread wins are multicore headroom)"
+    );
+    assert!(
+        skew_speedup > 0.5,
+        "work stealing collapsed to {skew_speedup:.2}x of the static split on the \
+         skewed repository (one-core box — the scheduling win is multicore headroom)"
     );
 }
 

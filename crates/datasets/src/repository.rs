@@ -44,6 +44,13 @@ pub struct RepositoryConfig {
     /// Fraction of pairs emitted as non-joinable decoys (`0.0..=1.0`),
     /// spread evenly through the repository.
     pub decoy_fraction: f64,
+    /// Row-count multiplier (`>= 1.0`) applied to the repository's *first*
+    /// pair, making it dominate the workload: a skew of 8 on a 100-row base
+    /// yields one ~800-row pair among ~100-row peers — the shape where a
+    /// static thread split strands workers and the batch runner's
+    /// work-stealing queue earns its keep. `1.0` (the default) disables the
+    /// skew and reproduces the pre-knob generation exactly.
+    pub skew: f64,
 }
 
 impl Default for RepositoryConfig {
@@ -53,6 +60,7 @@ impl Default for RepositoryConfig {
             rows_per_pair: 100,
             noise: 0.05,
             decoy_fraction: 0.25,
+            skew: 1.0,
         }
     }
 }
@@ -113,6 +121,12 @@ impl RepositoryConfig {
         self
     }
 
+    /// Builder-style setter for the first-pair skew multiplier.
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.skew = skew;
+        self
+    }
+
     /// Generates the repository deterministically from `seed`.
     pub fn generate(&self, seed: u64) -> Vec<ColumnPair> {
         assert!(
@@ -124,6 +138,10 @@ impl RepositoryConfig {
             "decoy_fraction must be within [0, 1]"
         );
         assert!(self.rows_per_pair >= 1, "rows_per_pair must be at least 1");
+        assert!(
+            self.skew >= 1.0 && self.skew.is_finite(),
+            "skew must be a finite multiplier >= 1.0"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let decoys = (self.pairs as f64 * self.decoy_fraction).round() as usize;
         let mut out = Vec::with_capacity(self.pairs);
@@ -134,6 +152,16 @@ impl RepositoryConfig {
             let is_decoy =
                 self.pairs > 0 && ((i + 1) * decoys) / self.pairs > (i * decoys) / self.pairs;
             let rows = self.rows_per_pair + rng.gen_range(0..=self.rows_per_pair / 5);
+            // The skew multiplies the first pair's row count after the
+            // jitter draw; `skew = 1.0` reproduces the pre-knob generation
+            // exactly. (A larger first pair consumes more rng draws, so
+            // later pairs' *content* shifts with the skew — generation
+            // stays deterministic per (seed, config).)
+            let rows = if i == 0 {
+                (rows as f64 * self.skew).round() as usize
+            } else {
+                rows
+            };
             if is_decoy {
                 out.push(decoy_pair(i, rows, &mut rng));
             } else {
@@ -340,6 +368,29 @@ mod tests {
             assert!((50..=60).contains(&p.source.len()), "{} rows", p.source.len());
             assert_eq!(p.source.len(), p.target.len());
         }
+    }
+
+    #[test]
+    fn skew_inflates_the_first_pair() {
+        let base = RepositoryConfig::new(6, 50).with_decoys(0.0);
+        let flat = base.clone().generate(9);
+        let skewed = base.clone().with_skew(8.0).generate(9);
+        // The first pair dominates: exactly 8x its unskewed row count,
+        // while every other pair keeps the base-range count.
+        assert_eq!(skewed[0].source.len(), flat[0].source.len() * 8);
+        for p in skewed.iter().skip(1) {
+            assert!((50..=60).contains(&p.source.len()), "{} rows", p.source.len());
+            assert_eq!(p.source.len(), p.target.len());
+        }
+        assert_eq!(skewed, base.clone().with_skew(8.0).generate(9));
+        // The explicit default skew reproduces the pre-knob generation.
+        assert_eq!(flat, base.with_skew(1.0).generate(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "skew")]
+    fn invalid_skew_rejected() {
+        let _ = RepositoryConfig::new(2, 10).with_skew(0.5).generate(0);
     }
 
     #[test]

@@ -4,27 +4,54 @@
 //! problem: a table repository yields hundreds of candidate column pairs,
 //! each of which must be matched, synthesized over, and joined. The
 //! [`BatchJoinRunner`] drives the per-pair [`JoinPipeline`] across such a
-//! repository under one shared thread budget:
+//! repository under one shared thread budget.
 //!
-//! * pairs are chunked across `min(threads, pairs)` workers (pair-level
-//!   parallelism — the axis with no shared state at all);
-//! * each worker's pipeline receives the remaining budget
-//!   (`threads / workers`, at least 1) for its *inner* parallel stages
-//!   (matcher row scan, synthesis coverage, equi-join apply), so total
-//!   concurrency stays within the budget instead of multiplying;
-//! * per-pair [`JoinOutcome`]s are collected in repository order and
-//!   aggregated into [`RepositoryMetrics`].
+//! # Work-stealing scheduling
 //!
-//! Every stage of the per-pair pipeline is bit-identical at any thread
-//! count (see the pipeline and matcher module docs), so a batch run
-//! produces exactly the outcomes the per-pair pipeline would — batching
-//! changes wall-clock, never results. `tests/paper_claims.rs` pins the
-//! end-to-end version of that claim on a generated repository.
+//! [`BatchJoinRunner::run`] treats pairs as *tasks on a shared queue*: a
+//! fixed pool of `min(threads, pairs)` workers repeatedly claims the next
+//! unprocessed pair (an atomic cursor — the degenerate but exact form of
+//! work stealing: every idle worker steals from one global queue), so a
+//! skewed repository whose huge pair lands on one worker no longer strands
+//! the rest of the pool the way a static up-front chunk split does. Each
+//! task's pipeline receives an inner budget of `threads / workers` threads
+//! (at least 1) for its parallel stages (matcher row scan, synthesis
+//! coverage, equi-join apply), so workers × inner never exceeds the budget.
+//! Under the n-gram strategy all workers share one [`GramCorpus`], so a
+//! column referenced by several pairs is normalized and indexed once per
+//! repository. The corpus lives for the whole run: peak memory is the
+//! repository's distinct-column text plus its gram artifacts, rather than
+//! the per-pair transient of the static path — the price of cross-pair
+//! reuse (refcounted eviction of fully-consumed columns is noted as
+//! headroom in ROADMAP.md). Scheduling counters (tasks per worker, steal
+//! count relative to the static split, corpus reuse) are reported in
+//! [`BatchSchedulerStats`].
+//!
+//! # The retained static-split oracle
+//!
+//! [`BatchJoinRunner::run_static`] is the pre-work-stealing driver, kept
+//! verbatim: pairs chunked contiguously across workers up front
+//! (`tjoin_text::chunk_map`), per-call matcher artifacts, no shared corpus.
+//! Because every stage of the per-pair pipeline is bit-identical at any
+//! thread count (see the pipeline and matcher module docs), both drivers
+//! must produce exactly the same per-pair [`JoinOutcome`]s — same pairs,
+//! same order, same metrics — and the same [`RepositoryMetrics`] at any
+//! thread budget; only wall-clock (and the scheduling counters) may differ.
+//! The differential proptest suite `tests/proptest_batch.rs` enforces that
+//! across random, skewed, and shared-column repositories × {1, 2, 4}
+//! threads, and `tests/paper_claims.rs` pins the end-to-end quality claim
+//! on a generated repository.
+//!
+//! (Wall-clock fields — the `Duration`s inside outcomes and metrics — are
+//! measurements, not results; the identity claim covers everything else.)
 
 use crate::evaluate::JoinMetrics;
-use crate::pipeline::{JoinOutcome, JoinPipeline, JoinPipelineConfig};
+use crate::pipeline::{JoinOutcome, JoinPipeline, JoinPipelineConfig, RowMatchingStrategy};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 use tjoin_datasets::ColumnPair;
+use tjoin_text::{CorpusStats, GramCorpus};
 
 /// One repository entry's result: the pair's name plus its pipeline
 /// outcome.
@@ -59,14 +86,39 @@ pub struct RepositoryMetrics {
     pub join_time: Duration,
 }
 
+/// Scheduling counters of a batch run — wall-clock-side observability that
+/// never influences results (outcomes are identical whatever these say).
+#[derive(Debug, Clone, Default)]
+pub struct BatchSchedulerStats {
+    /// Workers in the pool (`min(threads, pairs)`, at least 1).
+    pub workers: usize,
+    /// Inner thread budget each task's pipeline ran with
+    /// (`threads / workers`, at least 1) — workers × inner ≤ budget.
+    pub inner_threads: usize,
+    /// Tasks each worker executed, by worker index. Under work stealing on
+    /// a skewed repository this is *uneven by design* — fast workers drain
+    /// the queue while a slow pair occupies its worker.
+    pub tasks_per_worker: Vec<usize>,
+    /// Tasks a worker executed that the static contiguous split would have
+    /// assigned to a different worker — the imbalance the queue absorbed.
+    /// Always 0 for [`BatchJoinRunner::run_static`].
+    pub stolen_tasks: usize,
+    /// Shared-corpus reuse counters (`None` for the static oracle path and
+    /// under [`RowMatchingStrategy::Golden`], which match without text
+    /// artifacts).
+    pub corpus: Option<CorpusStats>,
+}
+
 /// The result of a batch run: per-pair reports in repository order plus the
-/// aggregate metrics.
+/// aggregate metrics and scheduling counters.
 #[derive(Debug, Clone)]
 pub struct BatchJoinOutcome {
     /// One report per input pair, in input order.
     pub reports: Vec<PairJoinReport>,
     /// Aggregate repository metrics.
     pub metrics: RepositoryMetrics,
+    /// Scheduling counters (see [`BatchSchedulerStats`]).
+    pub scheduler: BatchSchedulerStats,
 }
 
 /// Drives the per-pair join pipeline across a repository of column pairs
@@ -95,26 +147,156 @@ impl BatchJoinRunner {
         self.threads
     }
 
-    /// Runs match → synthesize → join on every pair of the repository and
-    /// aggregates the outcomes. Reports are returned in input order and
-    /// are bit-identical to running the per-pair pipeline directly.
-    pub fn run(&self, repository: &[ColumnPair]) -> BatchJoinOutcome {
-        let workers = self.threads.min(repository.len()).max(1);
+    /// The worker count and per-task inner thread budget the runner derives
+    /// from its budget for a repository of `pairs` pairs.
+    fn split(&self, pairs: usize) -> (usize, usize) {
+        let workers = self.threads.min(pairs).max(1);
         let inner_threads = (self.threads / workers).max(1);
-        let pair_config = self.config.clone().with_threads(inner_threads);
+        (workers, inner_threads)
+    }
+
+    /// Runs match → synthesize → join on every pair of the repository with
+    /// the work-stealing pair queue and the shared gram corpus, and
+    /// aggregates the outcomes. Reports are returned in input order and are
+    /// bit-identical to [`Self::run_static`] — and to running the per-pair
+    /// pipeline directly — at any thread budget.
+    pub fn run(&self, repository: &[ColumnPair]) -> BatchJoinOutcome {
+        if repository.is_empty() {
+            return BatchJoinOutcome {
+                reports: Vec::new(),
+                metrics: RepositoryMetrics::default(),
+                scheduler: BatchSchedulerStats {
+                    workers: 0,
+                    inner_threads: self.threads,
+                    ..BatchSchedulerStats::default()
+                },
+            };
+        }
+        let (workers, inner_threads) = self.split(repository.len());
+        let pipeline = JoinPipeline::new(self.config.clone().with_threads(inner_threads));
+        let corpus = match &self.config.matching {
+            RowMatchingStrategy::NGram(cfg) => Some(GramCorpus::new(cfg.normalize)),
+            RowMatchingStrategy::Golden => None,
+        };
+        let run_pair = |pair: &ColumnPair| -> PairJoinReport {
+            let outcome = match &corpus {
+                Some(corpus) => pipeline.run_with_corpus(pair, corpus),
+                None => pipeline.run(pair),
+            };
+            PairJoinReport {
+                name: pair.name.clone(),
+                outcome,
+            }
+        };
+
+        // The static contiguous split, used only to *count* steals: a task
+        // is "stolen" when the queue hands it to a worker the static split
+        // would not have given it to.
+        let static_chunk = repository.len().div_ceil(workers);
+
+        let mut tasks_per_worker = vec![0usize; workers];
+        let stolen = AtomicUsize::new(0);
+        let mut reports: Vec<PairJoinReport>;
+        if workers <= 1 {
+            // Serial fast path: one worker owns the whole queue.
+            reports = repository.iter().map(run_pair).collect();
+            tasks_per_worker[0] = repository.len();
+        } else {
+            // The shared pair queue: an atomic cursor every worker claims
+            // the next task from. Results land in per-pair slots, so output
+            // order is input order no matter who ran what.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<PairJoinReport>>> =
+                repository.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        let (next, slots, stolen, run_pair) = (&next, &slots, &stolen, &run_pair);
+                        scope.spawn(move || {
+                            let mut executed = 0usize;
+                            loop {
+                                let task = next.fetch_add(1, Ordering::Relaxed);
+                                if task >= repository.len() {
+                                    return executed;
+                                }
+                                let report = run_pair(&repository[task]);
+                                *slots[task].lock().expect("batch slot lock") = Some(report);
+                                executed += 1;
+                                if task / static_chunk != worker {
+                                    stolen.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for (worker, handle) in handles.into_iter().enumerate() {
+                    tasks_per_worker[worker] =
+                        handle.join().expect("batch worker panicked");
+                }
+            });
+            reports = Vec::with_capacity(repository.len());
+            for slot in slots {
+                let report = slot
+                    .into_inner()
+                    .expect("batch slot lock")
+                    .expect("every task executed");
+                reports.push(report);
+            }
+        }
+
+        let metrics = aggregate(&reports);
+        BatchJoinOutcome {
+            reports,
+            metrics,
+            scheduler: BatchSchedulerStats {
+                workers,
+                inner_threads,
+                tasks_per_worker,
+                stolen_tasks: stolen.into_inner(),
+                corpus: corpus.map(|c| c.stats()),
+            },
+        }
+    }
+
+    /// The retained static-split driver (the differential oracle for
+    /// [`Self::run`]): pairs chunked contiguously across the worker budget
+    /// up front, per-call matcher artifacts, no shared corpus. Outcomes are
+    /// thread-invariant, so this must produce exactly the reports and
+    /// metrics the work-stealing driver does.
+    pub fn run_static(&self, repository: &[ColumnPair]) -> BatchJoinOutcome {
+        let (workers, inner_threads) = self.split(repository.len());
+        let pipeline = JoinPipeline::new(self.config.clone().with_threads(inner_threads));
 
         // Contiguous pair chunks across the worker budget, concatenated in
         // order. Outcomes are thread-invariant, so chunk boundaries cannot
         // change results.
-        let pipeline = JoinPipeline::new(pair_config);
         let reports: Vec<PairJoinReport> =
             tjoin_text::chunk_map(repository, workers, |pair| PairJoinReport {
                 name: pair.name.clone(),
                 outcome: pipeline.run(pair),
             });
 
+        let chunk = repository.len().div_ceil(workers).max(1);
+        let mut tasks_per_worker = vec![0usize; workers];
+        for task in 0..repository.len() {
+            tasks_per_worker[(task / chunk).min(workers - 1)] += 1;
+        }
         let metrics = aggregate(&reports);
-        BatchJoinOutcome { reports, metrics }
+        BatchJoinOutcome {
+            reports,
+            metrics,
+            scheduler: BatchSchedulerStats {
+                workers: if repository.is_empty() { 0 } else { workers },
+                inner_threads,
+                tasks_per_worker: if repository.is_empty() {
+                    Vec::new()
+                } else {
+                    tasks_per_worker
+                },
+                stolen_tasks: 0,
+                corpus: None,
+            },
+        }
     }
 }
 
@@ -194,13 +376,32 @@ mod tests {
         }
     }
 
+    /// Asserts two batch outcomes carry identical results (everything but
+    /// the wall-clock measurements and scheduling counters).
+    fn assert_outcomes_identical(a: &BatchJoinOutcome, b: &BatchJoinOutcome) {
+        assert_eq!(a.reports.len(), b.reports.len());
+        for (ra, rb) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(ra.name, rb.name);
+            assert_eq!(ra.outcome.predicted_pairs, rb.outcome.predicted_pairs, "{}", ra.name);
+            assert_eq!(ra.outcome.metrics, rb.outcome.metrics, "{}", ra.name);
+            assert_eq!(ra.outcome.candidate_pairs, rb.outcome.candidate_pairs, "{}", ra.name);
+            assert_eq!(ra.outcome.transformations, rb.outcome.transformations, "{}", ra.name);
+        }
+        assert_eq!(a.metrics.pairs, b.metrics.pairs);
+        assert_eq!(a.metrics.joined_pairs, b.metrics.joined_pairs);
+        assert_eq!(a.metrics.micro, b.metrics.micro);
+        assert_eq!(a.metrics.macro_f1, b.metrics.macro_f1);
+    }
+
     #[test]
-    fn batch_matches_per_pair_pipeline() {
+    fn batch_matches_per_pair_pipeline_and_static_oracle() {
         let config = JoinPipelineConfig::paper_default();
         let repository = small_repository();
+        let oracle = BatchJoinRunner::new(config.clone(), 1).run_static(&repository);
         for threads in [1usize, 2, 4] {
             let batch = BatchJoinRunner::new(config.clone(), threads).run(&repository);
             assert_eq!(batch.reports.len(), repository.len());
+            assert_outcomes_identical(&batch, &oracle);
             for (pair, report) in repository.iter().zip(&batch.reports) {
                 assert_eq!(report.name, pair.name);
                 let solo = JoinPipeline::new(config.clone()).run(pair);
@@ -211,6 +412,48 @@ mod tests {
                 );
                 assert_eq!(report.outcome.metrics, solo.metrics);
             }
+            // Every task ran exactly once, on some worker.
+            assert_eq!(
+                batch.scheduler.tasks_per_worker.iter().sum::<usize>(),
+                repository.len()
+            );
+            assert!(batch.scheduler.workers * batch.scheduler.inner_threads <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn shared_corpus_reused_across_pairs_sharing_a_column() {
+        // Three pairs probing the same source column: the corpus must
+        // intern it once and serve the other two references from cache.
+        let source: Vec<String> = vec![
+            "Rafiei, Davood".into(),
+            "Bowling, Michael".into(),
+            "Gosgnach, Simon".into(),
+        ];
+        let repository: Vec<ColumnPair> = [
+            vec!["D Rafiei".into(), "M Bowling".into(), "S Gosgnach".into()],
+            vec!["d.rafiei".into(), "m.bowling".into(), "s.gosgnach".into()],
+            vec!["RAFIEI D".into(), "BOWLING M".into(), "GOSGNACH S".into()],
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, target)| ColumnPair::aligned(format!("shared-{i}"), source.clone(), target))
+        .collect();
+
+        for threads in [1usize, 4] {
+            let batch =
+                BatchJoinRunner::new(JoinPipelineConfig::paper_default(), threads).run(&repository);
+            let corpus = batch.scheduler.corpus.expect("n-gram strategy builds a corpus");
+            // 1 shared source + 3 distinct targets = 4 interned columns for
+            // 6 references: 2 normalizations saved, at any thread count.
+            assert_eq!(corpus.columns_interned, 4, "at {threads} threads");
+            assert_eq!(corpus.column_hits, 2, "at {threads} threads");
+            assert_eq!(corpus.stats_built, 4);
+            assert_eq!(corpus.stats_hits, 2);
+            let oracle = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), threads)
+                .run_static(&repository);
+            assert_outcomes_identical(&batch, &oracle);
+            assert!(oracle.scheduler.corpus.is_none());
         }
     }
 
@@ -245,11 +488,57 @@ mod tests {
 
     #[test]
     fn empty_repository() {
-        let batch = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 4).run(&[]);
-        assert!(batch.reports.is_empty());
-        assert_eq!(batch.metrics.pairs, 0);
-        assert_eq!(batch.metrics.macro_f1, 0.0);
-        assert_eq!(batch.metrics.micro.f1, 0.0);
+        for outcome in [
+            BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 4).run(&[]),
+            BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 4).run_static(&[]),
+        ] {
+            assert!(outcome.reports.is_empty());
+            assert_eq!(outcome.metrics.pairs, 0);
+            assert_eq!(outcome.metrics.macro_f1, 0.0);
+            assert_eq!(outcome.metrics.micro.f1, 0.0);
+            assert_eq!(outcome.scheduler.workers, 0);
+            assert!(outcome.scheduler.tasks_per_worker.is_empty());
+            assert_eq!(outcome.scheduler.stolen_tasks, 0);
+        }
+    }
+
+    #[test]
+    fn single_pair_repository() {
+        // One pair, budget 4: one worker takes the whole inner budget.
+        let repository = vec![small_repository().remove(0)];
+        let batch = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 4).run(&repository);
+        assert_eq!(batch.scheduler.workers, 1);
+        assert_eq!(batch.scheduler.inner_threads, 4);
+        assert_eq!(batch.scheduler.tasks_per_worker, vec![1]);
+        assert_eq!(batch.scheduler.stolen_tasks, 0);
+        let oracle =
+            BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 1).run_static(&repository);
+        assert_outcomes_identical(&batch, &oracle);
+        assert_eq!(batch.metrics.joined_pairs, 1);
+    }
+
+    #[test]
+    fn all_decoy_repository_predicts_nothing() {
+        let repository: Vec<ColumnPair> = (0..3)
+            .map(|i| {
+                let mut p = decoy_pair();
+                p.name = format!("decoy-{i}");
+                p
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let batch =
+                BatchJoinRunner::new(JoinPipelineConfig::paper_default(), threads).run(&repository);
+            assert_eq!(batch.metrics.joined_pairs, 0);
+            assert_eq!(batch.metrics.micro.predicted, 0);
+            assert_eq!(batch.metrics.macro_f1, 0.0);
+            for report in &batch.reports {
+                assert!(report.outcome.predicted_pairs.is_empty(), "{}", report.name);
+            }
+            let oracle = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), threads)
+                .run_static(&repository);
+            assert_outcomes_identical(&batch, &oracle);
+        }
     }
 
     #[test]
@@ -260,10 +549,22 @@ mod tests {
         };
         let batch = BatchJoinRunner::new(config, 2).run(&small_repository());
         assert!((batch.metrics.micro.recall - 1.0).abs() < 1e-9, "{:?}", batch.metrics);
+        // Golden matching needs no text artifacts: no corpus is built.
+        assert!(batch.scheduler.corpus.is_none());
     }
 
     #[test]
     fn thread_budget_clamped() {
         assert_eq!(BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 0).threads(), 1);
+    }
+
+    #[test]
+    fn worker_inner_product_never_exceeds_budget() {
+        for (threads, pairs) in [(1usize, 5usize), (2, 5), (4, 2), (4, 12), (7, 3), (16, 4)] {
+            let runner = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), threads);
+            let (workers, inner) = runner.split(pairs);
+            assert!(workers * inner <= threads, "budget exceeded at {threads}t/{pairs}p");
+            assert!(workers >= 1 && inner >= 1);
+        }
     }
 }

@@ -36,13 +36,24 @@
 //!
 //! [`batch::BatchJoinRunner`] runs match → synthesize → join over many
 //! column pairs (the GXJoin/QJoin many-column-pairs regime) under one
-//! shared thread budget: pairs chunk across workers, each worker's pipeline
-//! receives the remaining budget for its inner parallel stages, and
-//! per-pair [`JoinOutcome`]s aggregate into
-//! [`batch::RepositoryMetrics`] (micro / macro quality, per-phase time
-//! totals). `tjoin_datasets::repository` generates heterogeneous workloads
-//! (names / phones / dates / web formats, controllable noise, non-joinable
-//! decoys) for it.
+//! shared thread budget. Pairs are *tasks on a work-stealing queue*: a
+//! fixed pool of workers claims the next unprocessed pair from an atomic
+//! cursor, so skewed repositories (one huge pair) no longer strand the rest
+//! of the pool the way the retained static chunk split
+//! ([`batch::BatchJoinRunner::run_static`], the differential oracle) does;
+//! each task's pipeline receives `threads / workers` inner threads, so the
+//! pool never exceeds the budget. All workers share one
+//! [`tjoin_text::GramCorpus`], so a column referenced by several pairs is
+//! normalized and gram-indexed once per repository. Per-pair
+//! [`JoinOutcome`]s aggregate into [`batch::RepositoryMetrics`] (micro /
+//! macro quality, per-phase time totals), and
+//! [`batch::BatchSchedulerStats`] reports the scheduling counters (tasks
+//! per worker, steals, corpus reuse). `tests/proptest_batch.rs` proves
+//! work-stealing outcomes identical to the static-split oracle across
+//! random, skewed, and shared-column repositories × {1, 2, 4} threads.
+//! `tjoin_datasets::repository` generates heterogeneous workloads (names /
+//! phones / dates / web formats, controllable noise, non-joinable decoys,
+//! and a skew knob) for it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -52,7 +63,9 @@ pub mod evaluate;
 pub mod pipeline;
 pub mod reference;
 
-pub use batch::{BatchJoinOutcome, BatchJoinRunner, PairJoinReport, RepositoryMetrics};
+pub use batch::{
+    BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats, PairJoinReport, RepositoryMetrics,
+};
 pub use evaluate::{evaluate_join, JoinMetrics};
 pub use pipeline::{JoinOutcome, JoinPipeline, JoinPipelineConfig, RowMatchingStrategy};
 pub use reference::equi_join_reference;

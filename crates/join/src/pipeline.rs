@@ -18,7 +18,9 @@ use std::time::{Duration, Instant};
 use tjoin_core::{SynthesisConfig, SynthesisEngine};
 use tjoin_datasets::{row_id, ColumnPair};
 use tjoin_matching::{golden_pairs, NGramMatcher, NGramMatcherConfig};
-use tjoin_text::{chunk_map, fingerprint64, normalize_for_matching, FxHashMap, FxHashSet};
+use tjoin_text::{
+    chunk_map, fingerprint64, normalize_for_matching, FxHashMap, FxHashSet, GramCorpus,
+};
 use tjoin_units::{Transformation, TransformationSet};
 
 /// How candidate joinable row pairs are obtained before synthesis.
@@ -114,11 +116,30 @@ impl JoinPipeline {
 
     /// Runs the full pipeline on a column pair.
     pub fn run(&self, pair: &ColumnPair) -> JoinOutcome {
+        self.run_impl(pair, None)
+    }
+
+    /// Runs the full pipeline with the row-matching stage served from a
+    /// shared [`GramCorpus`] (see
+    /// [`NGramMatcher::find_candidates_in`]): the pair's columns are
+    /// interned once per repository instead of re-normalized and re-indexed
+    /// per call. The outcome is bit-identical to [`Self::run`] — only
+    /// wall-clock changes. Under [`RowMatchingStrategy::Golden`] the corpus
+    /// is unused.
+    pub fn run_with_corpus(&self, pair: &ColumnPair, corpus: &GramCorpus) -> JoinOutcome {
+        self.run_impl(pair, Some(corpus))
+    }
+
+    fn run_impl(&self, pair: &ColumnPair, corpus: Option<&GramCorpus>) -> JoinOutcome {
         // 1. Row matching.
         let match_start = Instant::now();
         let candidate_values: Vec<(String, String)> = match &self.config.matching {
             RowMatchingStrategy::NGram(cfg) => {
-                NGramMatcher::new(cfg.clone()).candidate_value_pairs(pair)
+                let matcher = NGramMatcher::new(cfg.clone());
+                match corpus {
+                    Some(corpus) => matcher.candidate_value_pairs_in(pair, corpus),
+                    None => matcher.candidate_value_pairs(pair),
+                }
             }
             RowMatchingStrategy::Golden => golden_pairs(pair)
                 .into_iter()

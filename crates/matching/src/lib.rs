@@ -21,7 +21,10 @@
 //! 1. the shared read-only state — normalized columns, the two
 //!    [`tjoin_text::ColumnStats`] IRF sides, and the target
 //!    [`tjoin_text::NGramIndex`] — is built exactly once, independent of
-//!    thread count;
+//!    thread count; at repository scale,
+//!    [`ngram::NGramMatcher::find_candidates_in`] serves that state from a
+//!    shared [`tjoin_text::GramCorpus`], so a column referenced by several
+//!    pairs is normalized and indexed once for the whole repository;
 //! 2. source rows are chunked across [`ngram::NGramMatcherConfig::threads`]
 //!    workers (the `SynthesisConfig::threads` convention), each scanning its
 //!    rows with per-size representative selection fused into one pass per

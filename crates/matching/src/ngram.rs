@@ -16,7 +16,10 @@
 //!    then [`ColumnStats`] for the two IRF sides and the target
 //!    [`NGramIndex`] are constructed a single time and shared by every
 //!    worker — the expensive indexing work is independent of the thread
-//!    count.
+//!    count. At repository scale, [`NGramMatcher::find_candidates_in`]
+//!    serves this state from a shared [`GramCorpus`] instead of rebuilding
+//!    it per call, so a column referenced by k pairs derives its
+//!    normalization, stats, and index exactly once.
 //! 2. **Row-chunked scan.** Source rows are split into contiguous chunks
 //!    across [`NGramMatcherConfig::threads`] workers (the same thread-budget
 //!    convention as `SynthesisConfig::threads`). Each worker scans its rows
@@ -38,7 +41,8 @@
 use serde::{Deserialize, Serialize};
 use tjoin_datasets::{row_id, ColumnPair};
 use tjoin_text::{
-    chunk_map, normalize_for_matching, ColumnStats, FxHashSet, NGramIndex, NormalizeOptions,
+    chunk_map, normalize_for_matching, ColumnStats, FxHashSet, GramCorpus, NGramIndex,
+    NormalizeOptions,
 };
 
 /// Configuration of the [`NGramMatcher`].
@@ -159,11 +163,51 @@ impl NGramMatcher {
         let source_stats = ColumnStats::build(&source, self.config.n_min, self.config.n_max);
         let target_stats = ColumnStats::build(&target, self.config.n_min, self.config.n_max);
         let target_index = NGramIndex::build(&target, self.config.n_min, self.config.n_max);
+        self.scan_columns(&source, &source_stats, &target_stats, &target_index)
+    }
 
+    /// [`Self::find_candidates`] over a shared [`GramCorpus`]: the pair's
+    /// columns are interned in (or served from) the corpus, so their
+    /// normalization, [`ColumnStats`], and [`NGramIndex`] are derived once
+    /// per *column* across the whole repository instead of once per call.
+    ///
+    /// The corpus artifacts are pure functions of the same inputs the
+    /// per-call path uses, so output is bit-identical to
+    /// [`Self::find_candidates`] — and therefore to the reference oracle —
+    /// at any thread count (`crates/join/tests/proptest_batch.rs` enforces
+    /// both equalities). The corpus must normalize exactly as this matcher's
+    /// configuration does.
+    pub fn find_candidates_in(&self, pair: &ColumnPair, corpus: &GramCorpus) -> Vec<RowMatch> {
+        pair.assert_row_indexable();
+        assert_eq!(
+            corpus.options(),
+            &self.config.normalize,
+            "corpus normalization differs from the matcher configuration"
+        );
+        let (n_min, n_max) = (self.config.n_min, self.config.n_max);
+        let source = corpus.column(&pair.source);
+        let target = corpus.column(&pair.target);
+        let source_stats = source.stats(n_min, n_max);
+        let target_stats = target.stats(n_min, n_max);
+        let target_index = target.index(n_min, n_max);
+        self.scan_columns(source.normalized(), &source_stats, &target_stats, &target_index)
+    }
+
+    /// The planned parallel scan over already-normalized columns and
+    /// prebuilt gram artifacts — the shared core of [`Self::find_candidates`]
+    /// (per-call artifacts) and [`Self::find_candidates_in`] (corpus-served
+    /// artifacts).
+    fn scan_columns(
+        &self,
+        source: &[String],
+        source_stats: &ColumnStats,
+        target_stats: &ColumnStats,
+        target_index: &NGramIndex,
+    ) -> Vec<RowMatch> {
         // Contiguous row chunks across the thread budget, concatenated in
         // order — the per-row sequence is the serial scan's at any budget.
-        let per_row: Vec<RowHits> = chunk_map(&source, self.config.threads, |row| {
-            self.scan_row(row, &source_stats, &target_stats, &target_index)
+        let per_row: Vec<RowHits> = chunk_map(source, self.config.threads, |row| {
+            self.scan_row(row, source_stats, target_stats, target_index)
         });
 
         // Assembly in the oracle's size-major order. Each row's hits are
@@ -245,7 +289,21 @@ impl NGramMatcher {
     /// (un-normalized) cell contents; the engine applies its own
     /// normalization.
     pub fn candidate_value_pairs(&self, pair: &ColumnPair) -> Vec<(String, String)> {
-        self.find_candidates(pair)
+        Self::materialize_pairs(pair, self.find_candidates(pair))
+    }
+
+    /// [`Self::candidate_value_pairs`] over a shared [`GramCorpus`] (see
+    /// [`Self::find_candidates_in`]).
+    pub fn candidate_value_pairs_in(
+        &self,
+        pair: &ColumnPair,
+        corpus: &GramCorpus,
+    ) -> Vec<(String, String)> {
+        Self::materialize_pairs(pair, self.find_candidates_in(pair, corpus))
+    }
+
+    fn materialize_pairs(pair: &ColumnPair, matches: Vec<RowMatch>) -> Vec<(String, String)> {
+        matches
             .into_iter()
             .map(|m| {
                 (
@@ -493,6 +551,74 @@ mod tests {
             assert!(found.iter().all(|m| m.source_row == 1), "{found:?}");
             assert!(!found.is_empty());
         }
+    }
+
+    #[test]
+    fn corpus_scan_bit_identical_to_per_call_path() {
+        // The same pairs through a shared corpus and through the per-call
+        // path must match the reference exactly, at several thread counts.
+        let pair = staff_pair();
+        let config = NGramMatcherConfig::default();
+        let oracle = find_candidates_reference(&config, &pair);
+        let corpus = GramCorpus::new(config.normalize);
+        for threads in [1usize, 2, 4] {
+            let matcher = NGramMatcher::new(config.clone().with_threads(threads));
+            assert_eq!(matcher.find_candidates_in(&pair, &corpus), oracle);
+            assert_eq!(matcher.find_candidates(&pair), oracle);
+        }
+        // Both columns interned once, served from cache afterwards.
+        let stats = corpus.stats();
+        assert_eq!(stats.columns_interned, 2);
+        assert_eq!(stats.column_hits, 4);
+        assert_eq!(stats.stats_built, 2);
+        assert_eq!(stats.indexes_built, 1);
+    }
+
+    #[test]
+    fn column_shared_by_many_pairs_interned_once() {
+        // One master source column probed against three target columns: the
+        // shared column must be normalized/interned exactly once, and every
+        // pair's output must equal its per-call run.
+        let shared_source: Vec<String> = vec![
+            "Rafiei, Davood".into(),
+            "Bowling, Michael".into(),
+            "Gosgnach, Simon".into(),
+        ];
+        let targets: Vec<Vec<String>> = vec![
+            vec!["D Rafiei".into(), "M Bowling".into(), "S Gosgnach".into()],
+            vec!["d.rafiei".into(), "m.bowling".into(), "s.gosgnach".into()],
+            vec!["RAFIEI D".into(), "BOWLING M".into(), "GOSGNACH S".into()],
+        ];
+        let config = NGramMatcherConfig::default();
+        let matcher = NGramMatcher::new(config.clone());
+        let corpus = GramCorpus::new(config.normalize);
+        for (i, target) in targets.iter().enumerate() {
+            let pair = ColumnPair::aligned(format!("shared-{i}"), shared_source.clone(), target.clone());
+            assert_eq!(
+                matcher.find_candidates_in(&pair, &corpus),
+                matcher.find_candidates(&pair),
+                "pair {i} diverged through the corpus"
+            );
+        }
+        let stats = corpus.stats();
+        // 1 shared source + 3 distinct targets; the source was served from
+        // cache on the 2nd and 3rd pair (2 normalizations saved), and its
+        // ColumnStats was built once and hit twice.
+        assert_eq!(stats.columns_interned, 4);
+        assert_eq!(stats.column_hits, 2);
+        assert_eq!(stats.normalizations_saved(), 2);
+        assert_eq!(stats.stats_built, 4);
+        assert_eq!(stats.stats_hits, 2);
+        assert_eq!(stats.indexes_built, 3);
+        assert_eq!(stats.index_hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "corpus normalization differs")]
+    fn corpus_with_mismatched_normalization_rejected() {
+        let corpus = GramCorpus::new(NormalizeOptions::none());
+        let matcher = NGramMatcher::with_defaults(); // default normalize
+        let _ = matcher.find_candidates_in(&staff_pair(), &corpus);
     }
 
     #[test]

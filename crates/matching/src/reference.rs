@@ -7,6 +7,12 @@
 //! seen-set dedup in discovery order. The parallel matcher must produce
 //! bit-identical, identically ordered [`RowMatch`] output at any thread
 //! count; `crates/join/tests/proptest_join.rs` holds it to that.
+//!
+//! The oracle deliberately re-derives every per-call artifact — it never
+//! reads a shared `GramCorpus` — so it also anchors the corpus-reuse
+//! differentials: `NGramMatcher::find_candidates_in` over interned columns
+//! must reproduce this function's output exactly
+//! (`crates/join/tests/proptest_batch.rs`).
 
 use crate::ngram::{NGramMatcherConfig, RowMatch};
 use tjoin_datasets::{row_id, ColumnPair};

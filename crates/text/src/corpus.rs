@@ -1,0 +1,387 @@
+//! Repository-wide interned text corpus.
+//!
+//! The repository workloads the paper targets (and GXJoin/QJoin evaluate)
+//! join *many* column pairs, and the same column frequently appears in
+//! several pairs — one master column probed against many candidate targets.
+//! The per-pair matcher path re-derives that column's text artifacts on
+//! every call: normalization of every cell, [`ColumnStats`] for IRF, and
+//! the inverted [`NGramIndex`]. A [`GramCorpus`] amortizes that work across
+//! the whole repository:
+//!
+//! * **Columns are interned by content.** [`GramCorpus::column`] keys each
+//!   column by a 64-bit chained fingerprint of its cells
+//!   ([`fingerprint64_chain`] over per-cell [`fingerprint64`]s) and
+//!   normalizes it exactly once, no matter how many pairs reference it. A
+//!   debug-build shadow map holds the raw cells and asserts the column
+//!   fingerprints never collide on the interned corpus.
+//! * **Gram artifacts are cached per size range.** A [`CorpusColumn`] lazily
+//!   builds — and then shares via `Arc` — its [`ColumnStats`] and
+//!   [`NGramIndex`] per `(n_min, n_max)`, so a column probed by k pairs
+//!   under one matcher configuration derives its grams once, not k times.
+//! * **Construction is thread-safe, exactly-once, and concurrent across
+//!   columns.** The intern map holds a per-column `OnceLock` cell; the
+//!   global lock covers only the cell lookup/insert, and the O(cells)
+//!   normalization runs outside it — workers interning *distinct* columns
+//!   proceed in parallel, while racers on the *same* column wait on its
+//!   cell and exactly one builds. Per-range artifact builds lock only
+//!   their own column. [`GramCorpus::stats`] exposes the intern/build/hit
+//!   counters the differential tests and the `join_throughput` bench
+//!   assert on.
+//!
+//! Everything a corpus serves is a pure function of the column's cells, the
+//! corpus's [`NormalizeOptions`], and the requested size range — the same
+//! inputs the per-call path feeds `ColumnStats::build`/`NGramIndex::build`
+//! directly. Matcher output over a corpus is therefore bit-identical to the
+//! per-call path, which `crates/join/tests/proptest_batch.rs` enforces
+//! differentially.
+
+use crate::fingerprint::{fingerprint64, fingerprint64_chain};
+use crate::fxhash::FxHashMap;
+use crate::index::NGramIndex;
+use crate::normalize::{normalize_for_matching, NormalizeOptions};
+use crate::scoring::ColumnStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The content fingerprint a corpus keys a column by: a length-seeded chain
+/// of every cell's [`fingerprint64`].
+pub fn column_fingerprint(cells: &[String]) -> u64 {
+    cells.iter().fold(
+        0x9E37_79B9_7F4A_7C15 ^ cells.len() as u64,
+        |acc, cell| fingerprint64_chain(acc, fingerprint64(cell)),
+    )
+}
+
+/// Intern/build/hit counters of a [`GramCorpus`] (see [`GramCorpus::stats`]).
+///
+/// `columns_interned` is the number of *distinct* columns normalized — each
+/// exactly once — while `column_hits` counts the [`GramCorpus::column`]
+/// calls served from cache: every hit is a whole-column normalization the
+/// per-call path would have re-run. The same applies to the stats/index
+/// pairs of counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Distinct columns interned (normalization passes actually run).
+    pub columns_interned: usize,
+    /// `column()` calls served from the intern cache.
+    pub column_hits: usize,
+    /// Distinct `(column, size-range)` [`ColumnStats`] built.
+    pub stats_built: usize,
+    /// `stats()` calls served from cache.
+    pub stats_hits: usize,
+    /// Distinct `(column, size-range)` [`NGramIndex`]es built.
+    pub indexes_built: usize,
+    /// `index()` calls served from cache.
+    pub index_hits: usize,
+}
+
+impl CorpusStats {
+    /// Whole-column normalization passes the corpus avoided relative to the
+    /// per-call path (one per cache hit).
+    pub fn normalizations_saved(&self) -> usize {
+        self.column_hits
+    }
+}
+
+/// One interned column: its normalized cells plus lazily built, cached gram
+/// artifacts per `(n_min, n_max)` size range. Obtained from
+/// [`GramCorpus::column`]; shared across pairs (and worker threads) via
+/// `Arc`.
+#[derive(Debug)]
+pub struct CorpusColumn {
+    normalized: Vec<String>,
+    stats: Mutex<FxHashMap<(usize, usize), Arc<ColumnStats>>>,
+    indexes: Mutex<FxHashMap<(usize, usize), Arc<NGramIndex>>>,
+    stats_hits: AtomicUsize,
+    index_hits: AtomicUsize,
+}
+
+impl CorpusColumn {
+    fn build(raw: &[String], options: &NormalizeOptions) -> Self {
+        Self {
+            normalized: raw
+                .iter()
+                .map(|v| normalize_for_matching(v, options))
+                .collect(),
+            stats: Mutex::new(FxHashMap::default()),
+            indexes: Mutex::new(FxHashMap::default()),
+            stats_hits: AtomicUsize::new(0),
+            index_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The column's normalized cells, in row order.
+    pub fn normalized(&self) -> &[String] {
+        &self.normalized
+    }
+
+    /// The column's [`ColumnStats`] over grams of sizes `n_min..=n_max`,
+    /// built on first request and cached (exactly-once under concurrency).
+    pub fn stats(&self, n_min: usize, n_max: usize) -> Arc<ColumnStats> {
+        let mut cache = self.stats.lock().expect("corpus stats lock");
+        if let Some(stats) = cache.get(&(n_min, n_max)) {
+            self.stats_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(stats);
+        }
+        let stats = Arc::new(ColumnStats::build(&self.normalized, n_min, n_max));
+        cache.insert((n_min, n_max), Arc::clone(&stats));
+        stats
+    }
+
+    /// The column's inverted [`NGramIndex`] over sizes `n_min..=n_max`,
+    /// built on first request and cached (exactly-once under concurrency).
+    pub fn index(&self, n_min: usize, n_max: usize) -> Arc<NGramIndex> {
+        let mut cache = self.indexes.lock().expect("corpus index lock");
+        if let Some(index) = cache.get(&(n_min, n_max)) {
+            self.index_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(index);
+        }
+        let index = Arc::new(NGramIndex::build(&self.normalized, n_min, n_max));
+        cache.insert((n_min, n_max), Arc::clone(&index));
+        index
+    }
+}
+
+/// A repository-wide interned corpus of column text (see the module docs).
+///
+/// One corpus serves one [`NormalizeOptions`]; callers whose configuration
+/// normalizes differently must not share it (the matcher asserts this).
+///
+/// The intern map holds a per-key `OnceLock` cell, so the global mutex is
+/// held only to insert or look up the cell — the O(cells) normalization
+/// build runs *outside* it. Concurrent workers interning distinct columns
+/// proceed in parallel; only racers on the same column wait on its cell
+/// (and exactly one of them builds).
+#[derive(Debug)]
+pub struct GramCorpus {
+    options: NormalizeOptions,
+    columns: Mutex<FxHashMap<u64, Arc<OnceLock<Arc<CorpusColumn>>>>>,
+    column_hits: AtomicUsize,
+    /// Debug-build collision check: the raw cells behind every fingerprint,
+    /// compared on each cache hit. At 64 chained bits a repository would
+    /// need billions of distinct columns before a collision becomes likely;
+    /// if one ever occurs, failing loudly beats silently serving another
+    /// column's grams.
+    #[cfg(debug_assertions)]
+    shadow: Mutex<FxHashMap<u64, Vec<String>>>,
+}
+
+impl GramCorpus {
+    /// Creates an empty corpus normalizing with `options`.
+    pub fn new(options: NormalizeOptions) -> Self {
+        Self {
+            options,
+            columns: Mutex::new(FxHashMap::default()),
+            column_hits: AtomicUsize::new(0),
+            #[cfg(debug_assertions)]
+            shadow: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The normalization this corpus applies to every interned column.
+    pub fn options(&self) -> &NormalizeOptions {
+        &self.options
+    }
+
+    /// Interns `raw` (keyed by [`column_fingerprint`]) and returns its
+    /// entry; the column is normalized exactly once across all calls, from
+    /// any thread. The normalization runs outside the global intern lock —
+    /// distinct columns build concurrently, racers on the same column wait
+    /// on its cell.
+    pub fn column(&self, raw: &[String]) -> Arc<CorpusColumn> {
+        let key = column_fingerprint(raw);
+        let cell = {
+            let mut columns = self.columns.lock().expect("corpus column lock");
+            if let Some(cell) = columns.get(&key) {
+                #[cfg(debug_assertions)]
+                {
+                    let shadow = self.shadow.lock().expect("corpus shadow lock");
+                    let prev = shadow.get(&key).expect("shadowed column present");
+                    debug_assert_eq!(
+                        prev.as_slice(),
+                        raw,
+                        "column fingerprint collision: two distinct columns hash to {key:#x}"
+                    );
+                }
+                Arc::clone(cell)
+            } else {
+                let cell = Arc::new(OnceLock::new());
+                columns.insert(key, Arc::clone(&cell));
+                #[cfg(debug_assertions)]
+                self.shadow
+                    .lock()
+                    .expect("corpus shadow lock")
+                    .insert(key, raw.to_vec());
+                cell
+            }
+        };
+        let mut built = false;
+        let entry = cell.get_or_init(|| {
+            built = true;
+            Arc::new(CorpusColumn::build(raw, &self.options))
+        });
+        if !built {
+            // Served from cache (whether the cell pre-existed or another
+            // racer built it first): one whole-column normalization saved.
+            self.column_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(entry)
+    }
+
+    /// Number of distinct columns interned (built) so far.
+    pub fn column_count(&self) -> usize {
+        self.columns
+            .lock()
+            .expect("corpus column lock")
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
+    }
+
+    /// A snapshot of the intern/build/hit counters (see [`CorpusStats`]).
+    /// Columns whose build is still in flight on another thread are not
+    /// counted yet.
+    pub fn stats(&self) -> CorpusStats {
+        let columns = self.columns.lock().expect("corpus column lock");
+        let mut stats = CorpusStats {
+            columns_interned: 0,
+            column_hits: self.column_hits.load(Ordering::Relaxed),
+            ..CorpusStats::default()
+        };
+        for column in columns.values().filter_map(|cell| cell.get()) {
+            stats.columns_interned += 1;
+            stats.stats_built += column.stats.lock().expect("corpus stats lock").len();
+            stats.stats_hits += column.stats_hits.load(Ordering::Relaxed);
+            stats.indexes_built += column.indexes.lock().expect("corpus index lock").len();
+            stats.index_hits += column.index_hits.load(Ordering::Relaxed);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(values: &[&str]) -> Vec<String> {
+        values.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn same_content_interns_once() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let a = col(&["Rafiei, Davood", "Bowling, Michael"]);
+        // A *different allocation* with the same content must hit the same
+        // entry: interning is by content, not identity.
+        let first = corpus.column(&a);
+        let second = corpus.column(&a.clone());
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = corpus.stats();
+        assert_eq!(stats.columns_interned, 1);
+        assert_eq!(stats.column_hits, 1);
+        assert_eq!(stats.normalizations_saved(), 1);
+    }
+
+    #[test]
+    fn distinct_columns_get_distinct_entries() {
+        // Exercises the debug-build fingerprint-collision check across many
+        // near-identical columns (single-cell edits, reorders, length
+        // changes) — the shapes where a weak chain would collide.
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let mut entries = Vec::new();
+        for i in 0..200 {
+            let c = col(&[&format!("value-{i:03}"), "shared suffix"]);
+            entries.push(corpus.column(&c));
+        }
+        entries.push(corpus.column(&col(&["shared suffix", "value-000"])));
+        entries.push(corpus.column(&col(&["value-000"])));
+        entries.push(corpus.column(&col(&["value-000", "shared suffix", ""])));
+        assert_eq!(corpus.column_count(), 203);
+        for (i, a) in entries.iter().enumerate() {
+            for b in &entries[i + 1..] {
+                assert!(!Arc::ptr_eq(a, b));
+            }
+        }
+        assert_eq!(corpus.stats().column_hits, 0);
+    }
+
+    #[test]
+    fn normalization_applied_once_and_matches_per_call() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let raw = col(&["  Rafiei,   DAVOOD ", "M  Bowling"]);
+        let entry = corpus.column(&raw);
+        let expected: Vec<String> = raw
+            .iter()
+            .map(|v| normalize_for_matching(v, &NormalizeOptions::default()))
+            .collect();
+        assert_eq!(entry.normalized(), expected.as_slice());
+        assert_eq!(entry.normalized()[0], "rafiei, davood");
+    }
+
+    #[test]
+    fn stats_and_index_cached_per_size_range() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let entry = corpus.column(&col(&["abcdef", "abcxyz"]));
+        let s1 = entry.stats(2, 4);
+        let s2 = entry.stats(2, 4);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let s3 = entry.stats(3, 5); // different range: a different artifact
+        assert!(!Arc::ptr_eq(&s1, &s3));
+        let i1 = entry.index(2, 4);
+        let i2 = entry.index(2, 4);
+        assert!(Arc::ptr_eq(&i1, &i2));
+        let stats = corpus.stats();
+        assert_eq!(stats.stats_built, 2);
+        assert_eq!(stats.stats_hits, 1);
+        assert_eq!(stats.indexes_built, 1);
+        assert_eq!(stats.index_hits, 1);
+        // The cached artifacts equal a direct per-call build.
+        let direct = ColumnStats::build(entry.normalized(), 2, 4);
+        assert_eq!(s1.row_count, direct.row_count);
+        assert_eq!(s1.distinct_ngrams(), direct.distinct_ngrams());
+        assert_eq!(i1.rows_containing("abc"), &[0, 1]);
+    }
+
+    #[test]
+    fn concurrent_interning_builds_each_column_once() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let shared = col(&["Rafiei, Davood", "Bowling, Michael", "Gosgnach, Simon"]);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let entry = corpus.column(&shared);
+                    let _ = entry.stats(4, 8);
+                    let _ = entry.index(4, 8);
+                });
+            }
+        });
+        let stats = corpus.stats();
+        assert_eq!(stats.columns_interned, 1);
+        assert_eq!(stats.column_hits, 7);
+        assert_eq!(stats.stats_built, 1);
+        assert_eq!(stats.indexes_built, 1);
+        assert_eq!(stats.stats_hits + 1 + stats.index_hits + 1, 16);
+    }
+
+    #[test]
+    fn empty_column_interns_fine() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let entry = corpus.column(&[]);
+        assert!(entry.normalized().is_empty());
+        assert_eq!(entry.stats(4, 20).row_count, 0);
+        assert_eq!(entry.index(4, 20).row_count(), 0);
+        // Empty and single-empty-cell columns are distinct contents.
+        let single_empty = corpus.column(&col(&[""]));
+        assert!(!Arc::ptr_eq(&entry, &single_empty));
+    }
+
+    #[test]
+    fn column_fingerprint_distinguishes_shape() {
+        assert_ne!(
+            column_fingerprint(&col(&["a", "b"])),
+            column_fingerprint(&col(&["b", "a"]))
+        );
+        assert_ne!(column_fingerprint(&col(&["ab"])), column_fingerprint(&col(&["a", "b"])));
+        assert_ne!(column_fingerprint(&[]), column_fingerprint(&col(&[""])));
+    }
+}

@@ -23,6 +23,17 @@ fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Order-sensitive chaining of a running fingerprint with the next
+/// element's fingerprint — the same absorb-and-mix step [`fingerprint64`]
+/// applies per 8-byte chunk, exposed so sequences can be fingerprinted
+/// element-wise. The gram corpus keys whole *columns* with it: fold every
+/// cell's `fingerprint64` into a length-seeded accumulator and two columns
+/// collide only if the 64-bit chain does.
+#[inline]
+pub fn fingerprint64_chain(acc: u64, next: u64) -> u64 {
+    mix64(acc ^ next)
+}
+
 /// The 64-bit fingerprint of a string: length-seeded splitmix64 mixing over
 /// 8-byte chunks (see the module docs for the design rationale).
 #[inline]
@@ -59,6 +70,20 @@ mod tests {
     fn length_seeding_separates_prefixes() {
         assert_ne!(fingerprint64("a"), fingerprint64("aa"));
         assert_ne!(fingerprint64("aa"), fingerprint64("aaa"));
+    }
+
+    #[test]
+    fn chain_is_order_and_length_sensitive() {
+        let fp = |values: &[&str]| {
+            values.iter().fold(
+                fingerprint64("") ^ values.len() as u64,
+                |acc, v| fingerprint64_chain(acc, fingerprint64(v)),
+            )
+        };
+        assert_eq!(fp(&["a", "b"]), fp(&["a", "b"]));
+        assert_ne!(fp(&["a", "b"]), fp(&["b", "a"]));
+        assert_ne!(fp(&["a"]), fp(&["a", "a"]));
+        assert_ne!(fp(&["x", ""]), fp(&["", "x"]));
     }
 
     #[test]

@@ -16,8 +16,12 @@
 //!   4.2.1: "the inverted index is organized as a hash with every n-gram ...
 //!   as a key and the row ids where the n-gram appears as a data value").
 //! * [`fingerprint`] — 64-bit identity-carrying string fingerprints shared
-//!   by the inverted index's posting keys and the join layer's
-//!   fingerprint equi-join.
+//!   by the inverted index's posting keys, the join layer's fingerprint
+//!   equi-join, and the corpus's column keys.
+//! * [`corpus`] — the repository-wide interned text corpus: columns
+//!   normalized once (keyed by content fingerprint) with per-size-range
+//!   `ColumnStats`/`NGramIndex` caching, so pairs sharing a column never
+//!   re-derive its grams.
 //! * [`par`] — the deterministic chunked parallel map shared by the
 //!   matcher's row scan, the equi-join apply loop, and the batch runner.
 //! * [`scoring`] — Inverse Row Frequency (IRF, Eq. 1) and the representative
@@ -29,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod common;
+pub mod corpus;
 pub mod fingerprint;
 pub mod fxhash;
 pub mod index;
@@ -39,7 +44,8 @@ pub mod scoring;
 pub mod tokenize;
 
 pub use common::{common_substring_matches, lcs_ratio, longest_common_substring, CommonMatch};
-pub use fingerprint::fingerprint64;
+pub use corpus::{column_fingerprint, CorpusColumn, CorpusStats, GramCorpus};
+pub use fingerprint::{fingerprint64, fingerprint64_chain};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::NGramIndex;
 pub use ngram::{

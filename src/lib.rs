@@ -56,10 +56,11 @@ pub mod prelude {
         BenchmarkKind, ColumnPair, RepositoryConfig, SyntheticConfig, Table, TablePair,
     };
     pub use tjoin_join::{
-        BatchJoinOutcome, BatchJoinRunner, JoinPipeline, JoinPipelineConfig, RepositoryMetrics,
-        RowMatchingStrategy,
+        BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats, JoinPipeline, JoinPipelineConfig,
+        RepositoryMetrics, RowMatchingStrategy,
     };
     pub use tjoin_matching::{MatchingMode, NGramMatcher, NGramMatcherConfig};
+    pub use tjoin_text::{CorpusStats, GramCorpus};
     pub use tjoin_units::{CharStr, Transformation, TransformationSet, Unit, UnitKind};
 }
 
