@@ -20,6 +20,12 @@
 //!   (normalizations saved, asserted thread-count-invariant) — on this
 //!   one-core box the wall-clock gap is scheduling noise, so the counters
 //!   are the tracked claim.
+//! * **Isolation overhead**: the unguarded per-pair pipeline against
+//!   `run_guarded` (per-phase `catch_unwind` containment) and against
+//!   `run_guarded` with a live unlimited budget token (admission charging +
+//!   cooperative checks). Outcomes asserted bit-identical; the ratios are
+//!   tracked, pathology-only gated — containment must stay effectively
+//!   free on the fault-free path.
 //!
 //! Outputs are asserted bit-identical across every leg before timing.
 
@@ -30,6 +36,7 @@ use tjoin_join::reference::equi_join_reference;
 use tjoin_join::{BatchJoinRunner, JoinPipeline, JoinPipelineConfig};
 use tjoin_matching::reference::find_candidates_reference;
 use tjoin_matching::{NGramMatcher, NGramMatcherConfig};
+use tjoin_text::RunBudget;
 use tjoin_units::{Transformation, Unit};
 
 const THREADS: usize = 4;
@@ -223,14 +230,43 @@ fn join_throughput_comparison(_c: &mut Criterion) {
         black_box(skew_runner.run(black_box(&skewed)));
     });
 
+    // --- Leg 5: isolation overhead — unguarded vs guarded pipeline. ---
+    let iso_pair = matcher_pair(400);
+    let iso_pipeline = JoinPipeline::new(JoinPipelineConfig::paper_default());
+    let iso_budget = RunBudget::unlimited()
+        .with_row_cap(u64::MAX)
+        .with_byte_cap(u64::MAX);
+    let iso_plain = iso_pipeline.run(&iso_pair);
+    for guarded in [
+        iso_pipeline.run_guarded(&iso_pair, None, None),
+        iso_pipeline.run_guarded(&iso_pair, None, Some(&iso_budget)),
+    ] {
+        assert!(guarded.status.is_ok(), "{:?}", guarded.status);
+        assert_eq!(guarded.outcome.predicted_pairs, iso_plain.predicted_pairs);
+        assert_eq!(guarded.outcome.metrics, iso_plain.metrics);
+        assert_eq!(guarded.outcome.candidate_pairs, iso_plain.candidate_pairs);
+    }
+    let iso_samples = 5;
+    let iso_plain_secs = time_seconds(iso_samples, || {
+        black_box(iso_pipeline.run(black_box(&iso_pair)));
+    });
+    let iso_guarded_secs = time_seconds(iso_samples, || {
+        black_box(iso_pipeline.run_guarded(black_box(&iso_pair), None, None));
+    });
+    let iso_budgeted_secs = time_seconds(iso_samples, || {
+        black_box(iso_pipeline.run_guarded(black_box(&iso_pair), None, Some(&iso_budget)));
+    });
+
     let matcher_fused_speedup = m_reference_secs / m_serial_secs;
     let matcher_parallel_speedup = m_serial_secs / m_parallel_secs;
     let join_fingerprint_speedup = j_reference_secs / j_fingerprint_secs;
     let join_parallel_speedup = j_fingerprint_secs / j_fingerprint_4t_secs;
     let batch_speedup = b_serial_secs / b_parallel_secs;
     let skew_speedup = skew_static_secs / skew_stealing_secs;
+    let guarded_relative = iso_plain_secs / iso_guarded_secs;
+    let budgeted_relative = iso_plain_secs / iso_budgeted_secs;
     let summary = format!(
-        "{{\n  \"benchmark\": \"join_throughput\",\n  \"threads\": {THREADS},\n  \"matcher\": {{\n    \"rows\": {matcher_rows},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {m_reference_secs:.6},\n    \"fused_serial_median_seconds\": {m_serial_secs:.6},\n    \"parallel_median_seconds\": {m_parallel_secs:.6},\n    \"speedup_fused_vs_reference\": {matcher_fused_speedup:.2},\n    \"speedup_parallel_vs_fused_serial\": {matcher_parallel_speedup:.2},\n    \"candidates\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"equi_join\": {{\n    \"rows\": {join_rows},\n    \"transformations\": {},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {j_reference_secs:.6},\n    \"fingerprint_median_seconds\": {j_fingerprint_secs:.6},\n    \"fingerprint_parallel_median_seconds\": {j_fingerprint_4t_secs:.6},\n    \"speedup_fingerprint_vs_reference\": {join_fingerprint_speedup:.2},\n    \"speedup_parallel_vs_serial_fingerprint\": {join_parallel_speedup:.2},\n    \"predicted_pairs\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"batch\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 80,\n    \"samples\": {batch_samples},\n    \"budget_1_median_seconds\": {b_serial_secs:.6},\n    \"budget_4_median_seconds\": {b_parallel_secs:.6},\n    \"speedup_budget_4_vs_1\": {batch_speedup:.2},\n    \"joined_pairs\": {},\n    \"micro_f1\": {:.4},\n    \"macro_f1\": {:.4},\n    \"outcomes_bit_identical\": true\n  }},\n  \"batch_skew\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 50,\n    \"skew\": 8.0,\n    \"dominant_pair_rows\": {},\n    \"samples\": {skew_samples},\n    \"static_split_median_seconds\": {skew_static_secs:.6},\n    \"work_stealing_median_seconds\": {skew_stealing_secs:.6},\n    \"speedup_stealing_vs_static\": {skew_speedup:.2},\n    \"stolen_tasks\": {},\n    \"corpus_columns_interned\": {},\n    \"corpus_normalizations_saved\": {},\n    \"corpus_stats_reused\": {},\n    \"corpus_counts_thread_invariant\": true,\n    \"outcomes_bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"join_throughput\",\n  \"threads\": {THREADS},\n  \"matcher\": {{\n    \"rows\": {matcher_rows},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {m_reference_secs:.6},\n    \"fused_serial_median_seconds\": {m_serial_secs:.6},\n    \"parallel_median_seconds\": {m_parallel_secs:.6},\n    \"speedup_fused_vs_reference\": {matcher_fused_speedup:.2},\n    \"speedup_parallel_vs_fused_serial\": {matcher_parallel_speedup:.2},\n    \"candidates\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"equi_join\": {{\n    \"rows\": {join_rows},\n    \"transformations\": {},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {j_reference_secs:.6},\n    \"fingerprint_median_seconds\": {j_fingerprint_secs:.6},\n    \"fingerprint_parallel_median_seconds\": {j_fingerprint_4t_secs:.6},\n    \"speedup_fingerprint_vs_reference\": {join_fingerprint_speedup:.2},\n    \"speedup_parallel_vs_serial_fingerprint\": {join_parallel_speedup:.2},\n    \"predicted_pairs\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"batch\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 80,\n    \"samples\": {batch_samples},\n    \"budget_1_median_seconds\": {b_serial_secs:.6},\n    \"budget_4_median_seconds\": {b_parallel_secs:.6},\n    \"speedup_budget_4_vs_1\": {batch_speedup:.2},\n    \"joined_pairs\": {},\n    \"micro_f1\": {:.4},\n    \"macro_f1\": {:.4},\n    \"outcomes_bit_identical\": true\n  }},\n  \"batch_skew\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 50,\n    \"skew\": 8.0,\n    \"dominant_pair_rows\": {},\n    \"samples\": {skew_samples},\n    \"static_split_median_seconds\": {skew_static_secs:.6},\n    \"work_stealing_median_seconds\": {skew_stealing_secs:.6},\n    \"speedup_stealing_vs_static\": {skew_speedup:.2},\n    \"stolen_tasks\": {},\n    \"corpus_columns_interned\": {},\n    \"corpus_normalizations_saved\": {},\n    \"corpus_stats_reused\": {},\n    \"corpus_counts_thread_invariant\": true,\n    \"outcomes_bit_identical\": true\n  }},\n  \"isolation\": {{\n    \"rows\": 400,\n    \"samples\": {iso_samples},\n    \"unguarded_median_seconds\": {iso_plain_secs:.6},\n    \"guarded_median_seconds\": {iso_guarded_secs:.6},\n    \"guarded_budgeted_median_seconds\": {iso_budgeted_secs:.6},\n    \"relative_throughput_guarded\": {guarded_relative:.2},\n    \"relative_throughput_guarded_budgeted\": {budgeted_relative:.2},\n    \"outcomes_bit_identical\": true\n  }}\n}}\n",
         reference_matches.len(),
         transformations.len(),
         reference_pairs.len(),
@@ -263,6 +299,10 @@ fn join_throughput_comparison(_c: &mut Criterion) {
         skew_stealing.scheduler.stolen_tasks,
         skew_corpus.normalizations_saved(),
     );
+    println!(
+        "isolation: guarded at {guarded_relative:.2}x of unguarded throughput \
+         ({iso_plain_secs:.4}s -> {iso_guarded_secs:.4}s), budgeted at {budgeted_relative:.2}x"
+    );
     println!("summary written to {path}");
     // Hard gates are output identity (asserted above). Wall-clock ratios
     // are *tracked* in the JSON, not tightly gated: medians of 5-7 samples
@@ -284,6 +324,11 @@ fn join_throughput_comparison(_c: &mut Criterion) {
         skew_speedup > 0.5,
         "work stealing collapsed to {skew_speedup:.2}x of the static split on the \
          skewed repository (one-core box — the scheduling win is multicore headroom)"
+    );
+    assert!(
+        guarded_relative > 0.5 && budgeted_relative > 0.5,
+        "fault isolation stopped being cheap: guarded at {guarded_relative:.2}x, \
+         budgeted at {budgeted_relative:.2}x of unguarded throughput"
     );
 }
 

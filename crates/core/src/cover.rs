@@ -196,6 +196,21 @@ pub fn lazy_greedy_cover(
     candidates: Vec<ScoredTransformation>,
     total_rows: usize,
 ) -> TransformationSet {
+    lazy_greedy_cover_budgeted(candidates, total_rows, None)
+        .expect("unbudgeted selection cannot abort")
+}
+
+/// [`lazy_greedy_cover`] under a cooperative
+/// [`BudgetToken`](tjoin_text::BudgetToken): the token is checked at the
+/// top of every heap pop (the selection loop's natural boundary) and the
+/// whole selection returns `Err` — with no partial set — once it trips.
+/// With `budget = None` this is exactly [`lazy_greedy_cover`], bit for bit,
+/// at zero cost.
+pub fn lazy_greedy_cover_budgeted(
+    candidates: Vec<ScoredTransformation>,
+    total_rows: usize,
+    budget: Option<&tjoin_text::BudgetToken>,
+) -> Result<TransformationSet, tjoin_text::BudgetExceeded> {
     // Seed the heap with every candidate's full coverage: against the empty
     // covered set the marginal gain IS the coverage, so every entry starts
     // fresh for round 0. Ranks start at zero (key order (gain, len, idx))
@@ -232,6 +247,9 @@ pub fn lazy_greedy_cover(
     let mut interned = false;
 
     while let Some(entry) = heap.pop() {
+        if let Some(token) = budget {
+            token.check()?;
+        }
         // Cached gains are upper bounds (submodularity), so a zero at the
         // top means every remaining candidate's true gain is zero.
         if entry.gain == 0 {
@@ -336,10 +354,10 @@ pub fn lazy_greedy_cover(
         epoch += 1;
     }
 
-    TransformationSet {
+    Ok(TransformationSet {
         transformations: selected,
         total_pairs: total_rows,
-    }
+    })
 }
 
 /// Renders every unselected candidate's transformation once and interns the

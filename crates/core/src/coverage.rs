@@ -101,6 +101,7 @@ use crate::pair::PairSet;
 use plan::{CoverageAxis, ExecutionPlan};
 use std::ops::Range;
 use std::time::{Duration, Instant};
+use tjoin_text::{BudgetExceeded, BudgetToken};
 use tjoin_units::{IdTransformation, Transformation, UnitId, UnitPool};
 
 pub mod plan {
@@ -362,6 +363,35 @@ pub fn compute_coverage_planned(
         threads,
         axis,
         SHARED_MEMO_BUDGET_BYTES,
+        None,
+    )
+    .expect("unbudgeted coverage cannot abort")
+}
+
+/// [`compute_coverage_planned`] under a cooperative [`BudgetToken`]: the
+/// scan loop checks the token at every row boundary and the whole
+/// computation returns `Err` — with no partial outcome — once it trips
+/// (only the wall-clock deadline can trip mid-scan; row/byte caps are
+/// charged at pipeline admission). With `budget = None` this is exactly
+/// [`compute_coverage_planned`], bit for bit.
+pub fn compute_coverage_planned_budgeted(
+    pool: &UnitPool,
+    transformations: &[IdTransformation],
+    pairs: &PairSet,
+    use_cache: bool,
+    threads: usize,
+    axis: CoverageAxis,
+    budget: Option<&BudgetToken>,
+) -> Result<CoverageOutcome, BudgetExceeded> {
+    compute_coverage_planned_impl(
+        pool,
+        transformations,
+        pairs,
+        use_cache,
+        threads,
+        axis,
+        SHARED_MEMO_BUDGET_BYTES,
+        budget,
     )
 }
 
@@ -376,6 +406,7 @@ fn shared_memo_fits(referenced: usize, rows: usize, budget_bytes: usize) -> bool
         .is_some_and(|bytes| bytes <= budget_bytes)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compute_coverage_planned_impl(
     pool: &UnitPool,
     transformations: &[IdTransformation],
@@ -384,30 +415,36 @@ fn compute_coverage_planned_impl(
     threads: usize,
     axis: CoverageAxis,
     memo_budget_bytes: usize,
-) -> CoverageOutcome {
+    budget: Option<&BudgetToken>,
+) -> Result<CoverageOutcome, BudgetExceeded> {
     let start = Instant::now();
     let rows = pairs.len();
+    if let Some(token) = budget {
+        token.check()?;
+    }
     // Explicit degenerate path: an empty candidate list or an empty pair
     // set produces the (trivially correct) empty outcome before any chunk
     // arithmetic. `plan_execution` also resolves these shapes to `Serial`,
     // but returning here keeps the invariant visible at the entry point —
     // no plan ever divides by a zero dimension.
     if transformations.is_empty() || rows == 0 {
-        return CoverageOutcome {
+        return Ok(CoverageOutcome {
             covered_rows: vec![Vec::new(); transformations.len()],
             apply_time: start.elapsed(),
             ..CoverageOutcome::default()
-        };
+        });
     }
     let potential_trials = transformations.len() as u64 * rows as u64;
     let mut outcome = match plan::plan_execution(transformations.len(), rows, threads, axis) {
-        ExecutionPlan::Serial => coverage_chunk_interned(pool, transformations, pairs, use_cache),
+        ExecutionPlan::Serial => {
+            coverage_chunk_interned_budgeted(pool, transformations, pairs, use_cache, budget)
+        }
         ExecutionPlan::Transformations { workers, chunk_size } => {
             let memo =
                 build_memo_within_budget(pool, transformations, pairs, workers, memo_budget_bytes);
             let jobs: Vec<ScanJob<'_>> =
                 transformations.chunks(chunk_size).map(|chunk| (chunk, 0..rows)).collect();
-            let results = run_scans(memo.as_ref(), pool, pairs, use_cache, jobs);
+            let results = run_scans(memo.as_ref(), pool, pairs, use_cache, jobs, budget);
             let mut covered_rows = Vec::with_capacity(transformations.len());
             let (mut trials, mut cache_hits, mut lazy_evaluations) = (0u64, 0u64, 0u64);
             for r in results {
@@ -432,7 +469,7 @@ fn compute_coverage_planned_impl(
                 .map(|w| (transformations, w * chunk_size..rows.min((w + 1) * chunk_size)))
                 .filter(|(_, range)| !range.is_empty())
                 .collect();
-            let results = run_scans(memo.as_ref(), pool, pairs, use_cache, jobs);
+            let results = run_scans(memo.as_ref(), pool, pairs, use_cache, jobs, budget);
             // Row chunks are disjoint and processed in ascending order, so
             // each candidate's per-chunk sorted lists concatenate — in
             // chunk order — into the globally sorted list with no merging.
@@ -460,9 +497,14 @@ fn compute_coverage_planned_impl(
             }
         }
     };
+    // A tripped budget discards the (truncated) partial scan: budgeted
+    // aborts are all-or-nothing, like `chunk_map_budgeted`.
+    if let Some(token) = budget {
+        token.check()?;
+    }
     outcome.potential_trials = potential_trials;
     outcome.apply_time = start.elapsed();
-    outcome
+    Ok(outcome)
 }
 
 /// One worker's rectangle of the coverage matrix: a candidate chunk and a
@@ -470,21 +512,29 @@ fn compute_coverage_planned_impl(
 type ScanJob<'a> = (&'a [IdTransformation], Range<usize>);
 
 /// Spawns one scoped worker per job and collects results in job order.
+/// Workers stop scanning (leaving truncated results) once `budget` trips;
+/// the caller discards the whole outcome in that case.
 fn run_scans(
     memo: Option<&SharedUnitMemo>,
     pool: &UnitPool,
     pairs: &PairSet,
     use_cache: bool,
     jobs: Vec<ScanJob<'_>>,
+    budget: Option<&BudgetToken>,
 ) -> Vec<ScanResult> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
             .map(|(chunk, range)| {
-                scope.spawn(move || run_scan(memo, pool, chunk, pairs, range, use_cache))
+                scope.spawn(move || run_scan(memo, pool, chunk, pairs, range, use_cache, budget))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("coverage worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
     })
 }
 
@@ -504,6 +554,7 @@ fn build_memo_within_budget(
 
 /// Runs one worker's scan with the shared memo when available, or a fresh
 /// lazy per-worker memo otherwise.
+#[allow(clippy::too_many_arguments)]
 fn run_scan(
     memo: Option<&SharedUnitMemo>,
     pool: &UnitPool,
@@ -511,6 +562,7 @@ fn run_scan(
     pairs: &PairSet,
     row_range: Range<usize>,
     use_cache: bool,
+    budget: Option<&BudgetToken>,
 ) -> ScanResult {
     match memo {
         Some(memo) => coverage_scan(
@@ -520,6 +572,7 @@ fn run_scan(
             row_range,
             use_cache,
             pool.len(),
+            budget,
         ),
         None => coverage_scan(
             &mut LazyVerdicts::new(pool, pairs),
@@ -528,6 +581,7 @@ fn run_scan(
             row_range,
             use_cache,
             pool.len(),
+            budget,
         ),
     }
 }
@@ -893,6 +947,7 @@ impl UnitVerdicts for SharedVerdicts<'_> {
 /// rectangle is bit-identical to the naive transformation-major reference
 /// over the same rectangle (see the module docs for why row-major and
 /// transformation-major orders agree).
+#[allow(clippy::too_many_arguments)]
 fn coverage_scan<V: UnitVerdicts>(
     source: &mut V,
     transformations: &[IdTransformation],
@@ -900,6 +955,7 @@ fn coverage_scan<V: UnitVerdicts>(
     row_range: Range<usize>,
     use_cache: bool,
     pool_len: usize,
+    budget: Option<&BudgetToken>,
 ) -> ScanResult {
     // Sparse collection: one (initially unallocated) sorted row list per
     // candidate — empty candidates never touch the heap. Rows arrive in
@@ -911,6 +967,14 @@ fn coverage_scan<V: UnitVerdicts>(
     let mut buffer = String::new();
 
     for row in row_range {
+        // Cooperative budget check at the row boundary: a tripped token
+        // stops this worker's scan; the planner entry point discards the
+        // truncated outcome and returns the trip cause.
+        if let Some(token) = budget {
+            if token.check().is_err() {
+                break;
+            }
+        }
         source.begin_row(row);
         bad.next_row();
         let target = pairs.target(row);
@@ -967,9 +1031,29 @@ fn coverage_chunk_interned(
     pairs: &PairSet,
     use_cache: bool,
 ) -> CoverageOutcome {
+    coverage_chunk_interned_budgeted(pool, transformations, pairs, use_cache, None)
+}
+
+/// The serial scan under an optional budget: a tripped token truncates the
+/// scan (the planner entry point discards the partial outcome).
+fn coverage_chunk_interned_budgeted(
+    pool: &UnitPool,
+    transformations: &[IdTransformation],
+    pairs: &PairSet,
+    use_cache: bool,
+    budget: Option<&BudgetToken>,
+) -> CoverageOutcome {
     let rows = pairs.len();
     let mut source = LazyVerdicts::new(pool, pairs);
-    let scan = coverage_scan(&mut source, transformations, pairs, 0..rows, use_cache, pool.len());
+    let scan = coverage_scan(
+        &mut source,
+        transformations,
+        pairs,
+        0..rows,
+        use_cache,
+        pool.len(),
+        budget,
+    );
     CoverageOutcome {
         covered_rows: scan.covered,
         trials: scan.trials,
@@ -1750,7 +1834,9 @@ mod tests {
             (CoverageAxis::Rows, 4),
             (CoverageAxis::Transformations, 4),
         ] {
-            let tiny = compute_coverage_planned_impl(&pool, &interned, &set, true, threads, axis, 1);
+            let tiny =
+                compute_coverage_planned_impl(&pool, &interned, &set, true, threads, axis, 1, None)
+                    .unwrap();
             let roomy = compute_coverage_planned(&pool, &interned, &set, true, threads, axis);
             assert_eq!(tiny.covered_rows, serial.covered_rows, "axis={axis:?}");
             assert_eq!(tiny.covered_rows, roomy.covered_rows, "axis={axis:?}");

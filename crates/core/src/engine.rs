@@ -2,13 +2,16 @@
 
 use crate::bitmap::RowBitmap;
 use crate::config::SynthesisConfig;
-use crate::cover::{lazy_greedy_cover, min_rows_for_support, top_k, ScoredTransformation};
-use crate::coverage::compute_coverage_planned;
+use crate::cover::{
+    lazy_greedy_cover_budgeted, min_rows_for_support, top_k, ScoredTransformation,
+};
+use crate::coverage::compute_coverage_planned_budgeted;
 use crate::generate::generate_transformations;
 use crate::pair::PairSet;
 use crate::sampling::sample_indices;
 use crate::stats::{PhaseTimings, SynthesisStats};
 use std::time::Instant;
+use tjoin_text::{fault, BudgetExceeded, BudgetToken, FaultSite};
 use tjoin_units::{CoveredTransformation, TransformationSet};
 
 /// The result of a synthesis run.
@@ -70,8 +73,34 @@ impl SynthesisEngine {
         self.discover(&set)
     }
 
+    /// [`Self::discover_from_strings`] under a cooperative [`BudgetToken`]
+    /// (see [`Self::discover_budgeted`]).
+    pub fn discover_from_strings_budgeted<S: AsRef<str>, T: AsRef<str>>(
+        &self,
+        pairs: &[(S, T)],
+        budget: Option<&BudgetToken>,
+    ) -> Result<SynthesisResult, BudgetExceeded> {
+        let set = PairSet::from_strings(pairs, &self.config.normalize);
+        self.discover_budgeted(&set, budget)
+    }
+
     /// Runs synthesis on a prepared [`PairSet`].
     pub fn discover(&self, pairs: &PairSet) -> SynthesisResult {
+        self.discover_budgeted(pairs, None).expect("unbudgeted synthesis cannot abort")
+    }
+
+    /// [`Self::discover`] under a cooperative [`BudgetToken`]: the token is
+    /// checked between phases, at the coverage scan's row boundaries, and
+    /// at the selection heap's pop boundaries, so a tripped budget (only
+    /// the wall-clock deadline can trip mid-run; row/byte caps are charged
+    /// at pipeline admission) aborts the synthesis cleanly with `Err`
+    /// instead of running away. With `budget = None` this is exactly
+    /// [`Self::discover`], bit for bit.
+    pub fn discover_budgeted(
+        &self,
+        pairs: &PairSet,
+        budget: Option<&BudgetToken>,
+    ) -> Result<SynthesisResult, BudgetExceeded> {
         let total_input = pairs.len();
 
         // Sampling (Section 5.3): draw the working subset when configured.
@@ -88,19 +117,24 @@ impl SynthesisEngine {
         // Phase 1–3: placeholders, skeletons, unit extraction, generation,
         // duplicate removal.
         let generation = generate_transformations(working, &self.config);
+        if let Some(token) = budget {
+            token.check()?;
+        }
 
         // Phase 4: coverage with eager filtering, on the interned candidates
         // (no re-interning, no unit cloning). Parallel runs are planned: a
         // shared unit-output memo, then a scan chunked along the axis the
         // planner (or the `coverage_axis` knob) picks from the shape.
-        let coverage = compute_coverage_planned(
+        fault::fire(FaultSite::CoverageScan);
+        let coverage = compute_coverage_planned_budgeted(
             &generation.pool,
             &generation.transformations,
             working,
             self.config.unit_cache,
             self.config.threads,
             self.config.coverage_axis,
-        );
+            budget,
+        )?;
 
         // Phase 5: selection. Coverage arrives as sparse sorted row lists;
         // the support and all-literal filters run on the sparse form (a
@@ -125,7 +159,7 @@ impl SynthesisEngine {
             })
             .collect();
         let top = top_k(&candidates, self.config.top_k);
-        let cover = lazy_greedy_cover(candidates, rows_used);
+        let cover = lazy_greedy_cover_budgeted(candidates, rows_used, budget)?;
         let cover_selection = select_start.elapsed();
 
         let stats = SynthesisStats {
@@ -145,7 +179,7 @@ impl SynthesisEngine {
             },
         };
 
-        SynthesisResult { top, cover, stats }
+        Ok(SynthesisResult { top, cover, stats })
     }
 }
 

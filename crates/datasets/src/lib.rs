@@ -30,6 +30,7 @@ pub mod repository;
 pub mod synthetic;
 pub mod table;
 
+pub use io::DatasetError;
 pub use repository::RepositoryConfig;
 pub use synthetic::{SyntheticConfig, SyntheticDataset};
 pub use table::{row_id, ColumnPair, Table, TablePair};

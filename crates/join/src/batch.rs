@@ -44,23 +44,72 @@
 //!
 //! (Wall-clock fields — the `Duration`s inside outcomes and metrics — are
 //! measurements, not results; the identity claim covers everything else.)
+//!
+//! # Fault isolation and budgets
+//!
+//! A repository run is only as robust as its worst pair, so both drivers
+//! route every pair through [`JoinPipeline::run_guarded`]: a pair whose
+//! phase panics (or that hits a sticky shared-corpus build failure) lands
+//! in its report slot as [`PairStatus::Failed`] with the phase and panic
+//! message, while the remaining workers keep draining the queue — one
+//! poisoned pair never takes down the batch. A scheduler-level
+//! `catch_unwind` backstops panics outside the guarded phases, and the
+//! worker-join / slot paths recover poisoned locks instead of propagating
+//! them. An optional [`RunBudget`] ([`BatchJoinRunner::with_budget`])
+//! bounds each pair: row/byte caps are charged deterministically at
+//! admission and a wall-clock deadline is checked cooperatively at phase
+//! loop boundaries, so an over-budget pair degrades to
+//! [`PairStatus::TimedOut`] with its completed-phase metrics intact.
+//! Per-status tallies are reported in [`BatchFaultStats`]; aggregate
+//! metrics still cover *all* reports (a failed pair contributes its empty
+//! prediction, exactly as the static oracle sees it).
+//!
+//! The `fault-injection` feature compiles in the deterministic
+//! [`FaultPlan`](tjoin_text::FaultPlan) harness
+//! ([`BatchJoinRunner::run_with_faults`]): named injection points keyed by
+//! (pair index, phase) drive the differential gate in
+//! `tests/proptest_faults.rs` — with K injected faults, every non-faulted
+//! pair stays bit-identical to the fault-free oracle and exactly the
+//! faulted pairs report non-[`Ok`](PairStatus::Ok) statuses.
 
 use crate::evaluate::JoinMetrics;
-use crate::pipeline::{JoinOutcome, JoinPipeline, JoinPipelineConfig, RowMatchingStrategy};
+use crate::pipeline::{
+    GuardedJoinOutcome, JoinOutcome, JoinPipeline, JoinPipelineConfig, PairError, PairPhase,
+    PairStatus, RowMatchingStrategy,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 use tjoin_datasets::ColumnPair;
-use tjoin_text::{CorpusStats, GramCorpus};
+use tjoin_text::{fault, CorpusStats, FaultKind, FaultPlan, FaultSite, GramCorpus, RunBudget};
 
-/// One repository entry's result: the pair's name plus its pipeline
-/// outcome.
+/// One repository entry's result: the pair's name, its pipeline outcome,
+/// and the isolation status that produced it.
 #[derive(Debug, Clone)]
 pub struct PairJoinReport {
     /// The column pair's name (from [`ColumnPair::name`]).
     pub name: String,
-    /// The per-pair pipeline outcome.
+    /// The per-pair pipeline outcome (partial when `status` is not
+    /// [`PairStatus::Ok`] — see [`GuardedJoinOutcome`]).
     pub outcome: JoinOutcome,
+    /// What happened to the pair: completed, contained failure, or budget
+    /// overrun.
+    pub status: PairStatus,
+}
+
+/// Per-status pair tallies of a batch run — the containment ledger: the
+/// three counters always sum to the repository size, and on a fault-free,
+/// unbudgeted run `failed_pairs` and `timed_out_pairs` are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchFaultStats {
+    /// Pairs whose every phase completed ([`PairStatus::Ok`]).
+    pub ok_pairs: usize,
+    /// Pairs with a contained panic or corpus failure
+    /// ([`PairStatus::Failed`]).
+    pub failed_pairs: usize,
+    /// Pairs whose [`RunBudget`] tripped ([`PairStatus::TimedOut`]).
+    pub timed_out_pairs: usize,
 }
 
 /// Aggregate quality and cost over a repository run.
@@ -119,6 +168,8 @@ pub struct BatchJoinOutcome {
     pub metrics: RepositoryMetrics,
     /// Scheduling counters (see [`BatchSchedulerStats`]).
     pub scheduler: BatchSchedulerStats,
+    /// Per-status pair tallies (see [`BatchFaultStats`]).
+    pub faults: BatchFaultStats,
 }
 
 /// Drives the per-pair join pipeline across a repository of column pairs
@@ -127,6 +178,7 @@ pub struct BatchJoinOutcome {
 pub struct BatchJoinRunner {
     config: JoinPipelineConfig,
     threads: usize,
+    budget: Option<RunBudget>,
 }
 
 impl BatchJoinRunner {
@@ -139,7 +191,17 @@ impl BatchJoinRunner {
         Self {
             config,
             threads: threads.max(1),
+            budget: None,
         }
+    }
+
+    /// Applies a per-pair [`RunBudget`] to every pair of subsequent runs
+    /// (each pair gets its *own* fresh token — budgets bound pairs, not the
+    /// repository). Cap overruns are deterministic and thread-invariant;
+    /// deadline overruns depend on wall-clock.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = Some(budget);
+        self
     }
 
     /// The shared thread budget.
@@ -161,6 +223,21 @@ impl BatchJoinRunner {
     /// bit-identical to [`Self::run_static`] — and to running the per-pair
     /// pipeline directly — at any thread budget.
     pub fn run(&self, repository: &[ColumnPair]) -> BatchJoinOutcome {
+        self.run_inner(repository, None)
+    }
+
+    /// [`Self::run`] under a deterministic [`FaultPlan`]: each worker sets
+    /// the plan's (pair index) scope around its task, so
+    /// [`fault::fire`]-instrumented points panic, stall, or poison exactly
+    /// where the plan says — the test harness for the containment layer.
+    /// Only compiled with the `fault-injection` feature; release builds
+    /// carry no injection code.
+    #[cfg(feature = "fault-injection")]
+    pub fn run_with_faults(&self, repository: &[ColumnPair], plan: &FaultPlan) -> BatchJoinOutcome {
+        self.run_inner(repository, Some(plan))
+    }
+
+    fn run_inner(&self, repository: &[ColumnPair], plan: Option<&FaultPlan>) -> BatchJoinOutcome {
         if repository.is_empty() {
             return BatchJoinOutcome {
                 reports: Vec::new(),
@@ -170,6 +247,7 @@ impl BatchJoinRunner {
                     inner_threads: self.threads,
                     ..BatchSchedulerStats::default()
                 },
+                faults: BatchFaultStats::default(),
             };
         }
         let (workers, inner_threads) = self.split(repository.len());
@@ -178,14 +256,33 @@ impl BatchJoinRunner {
             RowMatchingStrategy::NGram(cfg) => Some(GramCorpus::new(cfg.normalize)),
             RowMatchingStrategy::Golden => None,
         };
-        let run_pair = |pair: &ColumnPair| -> PairJoinReport {
-            let outcome = match &corpus {
-                Some(corpus) => pipeline.run_with_corpus(pair, corpus),
-                None => pipeline.run(pair),
+        let run_pair = |task: usize, pair: &ColumnPair| -> PairJoinReport {
+            // All guarded phases — including lazy shared-corpus builds,
+            // which happen inside the matcher call — execute on this worker
+            // thread, so the plan's thread-local (pair, site) scope covers
+            // exactly this task's instrumented points.
+            let exec = || -> GuardedJoinOutcome {
+                catch_unwind(AssertUnwindSafe(|| {
+                    pipeline.run_guarded(pair, corpus.as_ref(), self.budget.as_ref())
+                }))
+                .unwrap_or_else(|payload| GuardedJoinOutcome {
+                    // Scheduler-level backstop: a panic outside the guarded
+                    // phases still fails only this pair.
+                    outcome: JoinPipeline::empty_outcome(pair),
+                    status: PairStatus::Failed(PairError {
+                        phase: PairPhase::Scheduler,
+                        message: fault::panic_message(&*payload),
+                    }),
+                })
+            };
+            let guarded = match plan {
+                Some(plan) => fault::with_pair_scope(plan, task, exec),
+                None => exec(),
             };
             PairJoinReport {
                 name: pair.name.clone(),
-                outcome,
+                outcome: guarded.outcome,
+                status: guarded.status,
             }
         };
 
@@ -199,7 +296,11 @@ impl BatchJoinRunner {
         let mut reports: Vec<PairJoinReport>;
         if workers <= 1 {
             // Serial fast path: one worker owns the whole queue.
-            reports = repository.iter().map(run_pair).collect();
+            reports = repository
+                .iter()
+                .enumerate()
+                .map(|(task, pair)| run_pair(task, pair))
+                .collect();
             tasks_per_worker[0] = repository.len();
         } else {
             // The shared pair queue: an atomic cursor every worker claims
@@ -219,8 +320,19 @@ impl BatchJoinRunner {
                                 if task >= repository.len() {
                                     return executed;
                                 }
-                                let report = run_pair(&repository[task]);
-                                *slots[task].lock().expect("batch slot lock") = Some(report);
+                                let report = run_pair(task, &repository[task]);
+                                if let Some(plan) = plan {
+                                    if plan.fault_for(task, FaultSite::SlotStore)
+                                        == Some(FaultKind::PoisonLock)
+                                    {
+                                        fault::poison_mutex(&slots[task]);
+                                    }
+                                }
+                                // A slot lock poisoned by an injected (or
+                                // real) panic still stores and serves its
+                                // report: the data is a plain `Option` with
+                                // no invariant a panic could have broken.
+                                *fault::lock_recover(&slots[task]) = Some(report);
                                 executed += 1;
                                 if task / static_chunk != worker {
                                     stolen.fetch_add(1, Ordering::Relaxed);
@@ -230,15 +342,18 @@ impl BatchJoinRunner {
                     })
                     .collect();
                 for (worker, handle) in handles.into_iter().enumerate() {
-                    tasks_per_worker[worker] =
-                        handle.join().expect("batch worker panicked");
+                    // Workers contain per-pair panics themselves; a panic
+                    // escaping one is a scheduler bug, re-raised verbatim.
+                    tasks_per_worker[worker] = handle
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
                 }
             });
             reports = Vec::with_capacity(repository.len());
             for slot in slots {
                 let report = slot
                     .into_inner()
-                    .expect("batch slot lock")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .expect("every task executed");
                 reports.push(report);
             }
@@ -246,8 +361,9 @@ impl BatchJoinRunner {
 
         let metrics = aggregate(&reports);
         BatchJoinOutcome {
-            reports,
+            faults: tally(&reports),
             metrics,
+            reports,
             scheduler: BatchSchedulerStats {
                 workers,
                 inner_threads,
@@ -269,11 +385,17 @@ impl BatchJoinRunner {
 
         // Contiguous pair chunks across the worker budget, concatenated in
         // order. Outcomes are thread-invariant, so chunk boundaries cannot
-        // change results.
+        // change results. The oracle path runs guarded too (no fault plan —
+        // it IS the fault-free reference): statuses are all `Ok` without a
+        // budget, and cap-based budgets trip identically on both drivers.
         let reports: Vec<PairJoinReport> =
-            tjoin_text::chunk_map(repository, workers, |pair| PairJoinReport {
-                name: pair.name.clone(),
-                outcome: pipeline.run(pair),
+            tjoin_text::chunk_map(repository, workers, |pair| {
+                let guarded = pipeline.run_guarded(pair, None, self.budget.as_ref());
+                PairJoinReport {
+                    name: pair.name.clone(),
+                    outcome: guarded.outcome,
+                    status: guarded.status,
+                }
             });
 
         let chunk = repository.len().div_ceil(workers).max(1);
@@ -283,8 +405,9 @@ impl BatchJoinRunner {
         }
         let metrics = aggregate(&reports);
         BatchJoinOutcome {
-            reports,
+            faults: tally(&reports),
             metrics,
+            reports,
             scheduler: BatchSchedulerStats {
                 workers: if repository.is_empty() { 0 } else { workers },
                 inner_threads,
@@ -298,6 +421,19 @@ impl BatchJoinRunner {
             },
         }
     }
+}
+
+/// Tallies report statuses into the containment ledger.
+fn tally(reports: &[PairJoinReport]) -> BatchFaultStats {
+    let mut faults = BatchFaultStats::default();
+    for report in reports {
+        match &report.status {
+            PairStatus::Ok => faults.ok_pairs += 1,
+            PairStatus::Failed(_) => faults.failed_pairs += 1,
+            PairStatus::TimedOut { .. } => faults.timed_out_pairs += 1,
+        }
+    }
+    faults
 }
 
 /// Computes the repository aggregate of a report list.
@@ -382,6 +518,7 @@ mod tests {
         assert_eq!(a.reports.len(), b.reports.len());
         for (ra, rb) in a.reports.iter().zip(&b.reports) {
             assert_eq!(ra.name, rb.name);
+            assert_eq!(ra.status, rb.status, "{}", ra.name);
             assert_eq!(ra.outcome.predicted_pairs, rb.outcome.predicted_pairs, "{}", ra.name);
             assert_eq!(ra.outcome.metrics, rb.outcome.metrics, "{}", ra.name);
             assert_eq!(ra.outcome.candidate_pairs, rb.outcome.candidate_pairs, "{}", ra.name);
@@ -391,6 +528,7 @@ mod tests {
         assert_eq!(a.metrics.joined_pairs, b.metrics.joined_pairs);
         assert_eq!(a.metrics.micro, b.metrics.micro);
         assert_eq!(a.metrics.macro_f1, b.metrics.macro_f1);
+        assert_eq!(a.faults, b.faults);
     }
 
     #[test]
@@ -565,6 +703,82 @@ mod tests {
             let (workers, inner) = runner.split(pairs);
             assert!(workers * inner <= threads, "budget exceeded at {threads}t/{pairs}p");
             assert!(workers >= 1 && inner >= 1);
+        }
+    }
+
+    #[test]
+    fn clean_run_reports_all_ok() {
+        let repository = small_repository();
+        for threads in [1usize, 4] {
+            let batch =
+                BatchJoinRunner::new(JoinPipelineConfig::paper_default(), threads).run(&repository);
+            assert_eq!(
+                batch.faults,
+                BatchFaultStats { ok_pairs: 2, failed_pairs: 0, timed_out_pairs: 0 }
+            );
+            for report in &batch.reports {
+                assert!(report.status.is_ok(), "{}: {:?}", report.name, report.status);
+            }
+        }
+    }
+
+    #[test]
+    fn row_cap_degrades_oversized_pairs_thread_invariantly() {
+        // `emails` has 6 rows, `names` 8: a 7-row cap admits only `emails`.
+        let repository = small_repository();
+        let budget = RunBudget::unlimited().with_row_cap(7);
+        let oracle = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), 1)
+            .with_budget(budget)
+            .run_static(&repository);
+        assert_eq!(
+            oracle.faults,
+            BatchFaultStats { ok_pairs: 1, failed_pairs: 0, timed_out_pairs: 1 }
+        );
+        for threads in [1usize, 2, 4] {
+            let batch = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), threads)
+                .with_budget(budget)
+                .run(&repository);
+            assert_outcomes_identical(&batch, &oracle);
+            let names = batch.reports.iter().find(|r| r.name == "names").unwrap();
+            assert_eq!(
+                names.status,
+                PairStatus::TimedOut {
+                    phase: PairPhase::Matching,
+                    exceeded: tjoin_text::BudgetExceeded::Rows,
+                }
+            );
+            assert!(names.outcome.predicted_pairs.is_empty());
+            // The in-budget pair is untouched by its neighbor's overrun.
+            let emails = batch.reports.iter().find(|r| r.name == "emails").unwrap();
+            assert!(emails.status.is_ok());
+            assert!(emails.outcome.metrics.f1 > 0.8, "{:?}", emails.outcome.metrics);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_times_out_every_pair() {
+        let repository = small_repository();
+        let budget = RunBudget::unlimited().with_deadline(Duration::ZERO);
+        for threads in [1usize, 4] {
+            let batch = BatchJoinRunner::new(JoinPipelineConfig::paper_default(), threads)
+                .with_budget(budget)
+                .run(&repository);
+            assert_eq!(batch.faults.timed_out_pairs, repository.len());
+            assert_eq!(batch.faults.ok_pairs, 0);
+            for report in &batch.reports {
+                assert!(
+                    matches!(
+                        report.status,
+                        PairStatus::TimedOut {
+                            exceeded: tjoin_text::BudgetExceeded::Deadline,
+                            ..
+                        }
+                    ),
+                    "{}: {:?}",
+                    report.name,
+                    report.status
+                );
+            }
         }
     }
 }

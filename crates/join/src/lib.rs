@@ -54,6 +54,35 @@
 //! `tjoin_datasets::repository` generates heterogeneous workloads (names /
 //! phones / dates / web formats, controllable noise, non-joinable decoys,
 //! and a skew knob) for it.
+//!
+//! # Fault isolation and budgets
+//!
+//! A repository run must survive its worst pair. Both batch drivers route
+//! every pair through [`pipeline::JoinPipeline::run_guarded`], which
+//! contains failures *per pair*:
+//!
+//! * a phase that panics — or depends on a shared-corpus artifact whose
+//!   build failed (sticky [`tjoin_text::CorpusFailure`]) — degrades to
+//!   [`pipeline::PairStatus::Failed`] with the phase and panic message,
+//!   keeping every completed phase's outcome fields;
+//! * an optional per-pair [`tjoin_text::RunBudget`]
+//!   ([`batch::BatchJoinRunner::with_budget`]) bounds cost: row/byte caps
+//!   are charged once at admission (deterministic and thread-invariant by
+//!   construction) and the wall-clock deadline is checked cooperatively at
+//!   the matcher-scan, coverage, selection, and join loop boundaries,
+//!   yielding [`pipeline::PairStatus::TimedOut`] with the tripped axis.
+//!   Budgeted aborts are all-or-nothing: no truncated result is ever
+//!   reported as complete;
+//! * fault-free guarded runs are bit-identical to the unguarded pipeline —
+//!   the guarded path runs the same phase code, not a fork of it — and
+//!   per-status tallies land in [`batch::BatchFaultStats`].
+//!
+//! The `fault-injection` feature compiles in the deterministic
+//! [`tjoin_text::FaultPlan`] harness
+//! ([`batch::BatchJoinRunner::run_with_faults`]); `tests/proptest_faults.rs`
+//! proves that with K injected faults every non-faulted pair stays
+//! bit-identical to the fault-free oracle and exactly the faulted pairs
+//! report non-Ok statuses, across random repositories × {1, 2, 4} threads.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -64,8 +93,12 @@ pub mod pipeline;
 pub mod reference;
 
 pub use batch::{
-    BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats, PairJoinReport, RepositoryMetrics,
+    BatchFaultStats, BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats, PairJoinReport,
+    RepositoryMetrics,
 };
 pub use evaluate::{evaluate_join, JoinMetrics};
-pub use pipeline::{JoinOutcome, JoinPipeline, JoinPipelineConfig, RowMatchingStrategy};
+pub use pipeline::{
+    GuardedJoinOutcome, JoinOutcome, JoinPipeline, JoinPipelineConfig, PairError, PairPhase,
+    PairStatus, RowMatchingStrategy,
+};
 pub use reference::equi_join_reference;

@@ -14,12 +14,15 @@
 
 use crate::evaluate::{evaluate_join, JoinMetrics};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 use tjoin_core::{SynthesisConfig, SynthesisEngine};
 use tjoin_datasets::{row_id, ColumnPair};
-use tjoin_matching::{golden_pairs, NGramMatcher, NGramMatcherConfig};
+use tjoin_matching::{golden_pairs, MatchAbort, NGramMatcher, NGramMatcherConfig};
 use tjoin_text::{
-    chunk_map, fingerprint64, normalize_for_matching, FxHashMap, FxHashSet, GramCorpus,
+    chunk_map_budgeted, fault, fingerprint64, normalize_for_matching, BudgetExceeded, BudgetToken,
+    FaultSite, FxHashMap, FxHashSet, GramCorpus, RunBudget,
 };
 use tjoin_units::{Transformation, TransformationSet};
 
@@ -95,6 +98,86 @@ pub struct JoinOutcome {
     pub join_time: Duration,
 }
 
+/// Which pipeline phase a pair failure or budget overrun is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairPhase {
+    /// Row matching (Algorithm 1 or golden materialization).
+    Matching,
+    /// Transformation discovery.
+    Synthesis,
+    /// The transformed equi-join and evaluation.
+    Join,
+    /// Outside any phase — the batch scheduler's backstop containment (a
+    /// panic between phases, e.g. an injected slot fault).
+    Scheduler,
+}
+
+impl fmt::Display for PairPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairPhase::Matching => write!(f, "matching"),
+            PairPhase::Synthesis => write!(f, "synthesis"),
+            PairPhase::Join => write!(f, "join"),
+            PairPhase::Scheduler => write!(f, "scheduler"),
+        }
+    }
+}
+
+/// A contained per-pair failure: the phase whose execution panicked (or hit
+/// a sticky corpus failure) and the panic's message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairError {
+    /// The phase the failure is attributed to.
+    pub phase: PairPhase,
+    /// The contained panic's (or corpus failure's) message.
+    pub message: String,
+}
+
+impl fmt::Display for PairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pair failed in {}: {}", self.phase, self.message)
+    }
+}
+
+/// The isolation status of one pair's pipeline run: graceful degradation is
+/// per pair, never per process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairStatus {
+    /// Every phase completed; the outcome is the unguarded pipeline's, bit
+    /// for bit.
+    Ok,
+    /// A phase panicked (or depended on a failed corpus artifact); the
+    /// outcome carries whatever earlier phases completed.
+    Failed(PairError),
+    /// The pair's [`RunBudget`] tripped in the given phase; the outcome
+    /// carries whatever earlier phases completed.
+    TimedOut {
+        /// The phase that observed the trip.
+        phase: PairPhase,
+        /// The budget axis that tripped (first cause, sticky).
+        exceeded: BudgetExceeded,
+    },
+}
+
+impl PairStatus {
+    /// Whether every phase completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, PairStatus::Ok)
+    }
+}
+
+/// A [`JoinOutcome`] plus the isolation status that produced it (see
+/// [`JoinPipeline::run_guarded`]).
+#[derive(Debug, Clone)]
+pub struct GuardedJoinOutcome {
+    /// The pair's outcome — complete when `status.is_ok()`, otherwise the
+    /// phases that finished before the failure/overrun (later-phase fields
+    /// keep their empty defaults).
+    pub outcome: JoinOutcome,
+    /// What happened to the pair.
+    pub status: PairStatus,
+}
+
 /// The end-to-end join pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct JoinPipeline {
@@ -133,24 +216,9 @@ impl JoinPipeline {
     fn run_impl(&self, pair: &ColumnPair, corpus: Option<&GramCorpus>) -> JoinOutcome {
         // 1. Row matching.
         let match_start = Instant::now();
-        let candidate_values: Vec<(String, String)> = match &self.config.matching {
-            RowMatchingStrategy::NGram(cfg) => {
-                let matcher = NGramMatcher::new(cfg.clone());
-                match corpus {
-                    Some(corpus) => matcher.candidate_value_pairs_in(pair, corpus),
-                    None => matcher.candidate_value_pairs(pair),
-                }
-            }
-            RowMatchingStrategy::Golden => golden_pairs(pair)
-                .into_iter()
-                .map(|(s, t)| {
-                    (
-                        pair.source[s as usize].clone(),
-                        pair.target[t as usize].clone(),
-                    )
-                })
-                .collect(),
-        };
+        let candidate_values = self
+            .candidate_values(pair, corpus, None)
+            .unwrap_or_else(|abort| panic!("{abort}"));
         let matching_time = match_start.elapsed();
 
         // 2. Transformation discovery.
@@ -184,6 +252,200 @@ impl JoinPipeline {
         }
     }
 
+    /// The matching stage shared by [`Self::run`] and [`Self::run_guarded`]:
+    /// candidate (source, target) value pairs under the configured strategy,
+    /// optionally corpus-served and budget-checked.
+    fn candidate_values(
+        &self,
+        pair: &ColumnPair,
+        corpus: Option<&GramCorpus>,
+        budget: Option<&BudgetToken>,
+    ) -> Result<Vec<(String, String)>, MatchAbort> {
+        match &self.config.matching {
+            RowMatchingStrategy::NGram(cfg) => {
+                NGramMatcher::new(cfg.clone()).try_candidate_value_pairs(pair, corpus, budget)
+            }
+            RowMatchingStrategy::Golden => {
+                if let Some(token) = budget {
+                    token.check()?;
+                }
+                Ok(golden_pairs(pair)
+                    .into_iter()
+                    .map(|(s, t)| {
+                        (
+                            pair.source[s as usize].clone(),
+                            pair.target[t as usize].clone(),
+                        )
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// The outcome shape of a pair that completed no phase: empty
+    /// transformation set, no predictions, and the metrics of predicting
+    /// nothing against the pair's golden mapping.
+    pub(crate) fn empty_outcome(pair: &ColumnPair) -> JoinOutcome {
+        JoinOutcome {
+            transformations: TransformationSet::default(),
+            predicted_pairs: Vec::new(),
+            metrics: evaluate_join(&[], &pair.golden),
+            candidate_pairs: 0,
+            matching_time: Duration::ZERO,
+            synthesis_time: Duration::ZERO,
+            join_time: Duration::ZERO,
+        }
+    }
+
+    /// Runs the full pipeline with per-pair fault isolation and an optional
+    /// [`RunBudget`] — the batch layer's per-pair unit of graceful
+    /// degradation:
+    ///
+    /// * **Panic containment.** Each phase runs under `catch_unwind`; a
+    ///   panicking phase (or a sticky shared-corpus build failure) yields
+    ///   [`PairStatus::Failed`] carrying the phase and the original panic
+    ///   message, with the outcome fields of every *completed* phase intact.
+    /// * **Budgets.** `budget` (if any) starts its clock here: the pair's
+    ///   rows and bytes are charged once at admission (so cap overruns are
+    ///   deterministic and thread-invariant), and the wall-clock deadline is
+    ///   checked cooperatively at the matcher scan, coverage scan,
+    ///   selection, and join loop boundaries. A trip yields
+    ///   [`PairStatus::TimedOut`] with the phase metrics completed so far.
+    /// * **Fault-free equivalence.** When nothing fails and no budget trips,
+    ///   the outcome is bit-identical to [`Self::run`] /
+    ///   [`Self::run_with_corpus`] and the status is [`PairStatus::Ok`] —
+    ///   the guarded path runs the same phase code, not a fork of it.
+    ///
+    /// Panics originating *outside* the guarded phases (e.g. a misconfigured
+    /// pipeline's validation assertions) still propagate; the batch runner
+    /// adds a scheduler-level backstop around the whole call.
+    pub fn run_guarded(
+        &self,
+        pair: &ColumnPair,
+        corpus: Option<&GramCorpus>,
+        budget: Option<&RunBudget>,
+    ) -> GuardedJoinOutcome {
+        let token_storage = budget.map(|b| b.token());
+        let token = token_storage.as_ref();
+        let mut outcome = Self::empty_outcome(pair);
+
+        // Admission: charge the pair's size against the deterministic caps
+        // before any work. An oversized pair is rejected identically on
+        // every run at every thread count.
+        if let Some(token) = token {
+            let rows = pair.source.len() + pair.target.len();
+            let bytes: usize = pair
+                .source
+                .iter()
+                .chain(pair.target.iter())
+                .map(|cell| cell.len())
+                .sum();
+            if let Err(exceeded) = token.charge_rows(rows).and_then(|()| token.charge_bytes(bytes))
+            {
+                return GuardedJoinOutcome {
+                    outcome,
+                    status: PairStatus::TimedOut { phase: PairPhase::Matching, exceeded },
+                };
+            }
+        }
+
+        // 1. Row matching.
+        let match_start = Instant::now();
+        let matched = catch_unwind(AssertUnwindSafe(|| {
+            fault::fire(FaultSite::MatchPhase);
+            self.candidate_values(pair, corpus, token)
+        }));
+        outcome.matching_time = match_start.elapsed();
+        let candidate_values = match matched {
+            Ok(Ok(values)) => values,
+            Ok(Err(MatchAbort::Budget(exceeded))) => {
+                return GuardedJoinOutcome {
+                    outcome,
+                    status: PairStatus::TimedOut { phase: PairPhase::Matching, exceeded },
+                };
+            }
+            Ok(Err(MatchAbort::Corpus(failure))) => {
+                return GuardedJoinOutcome {
+                    outcome,
+                    status: PairStatus::Failed(PairError {
+                        phase: PairPhase::Matching,
+                        message: failure.to_string(),
+                    }),
+                };
+            }
+            Err(payload) => {
+                return GuardedJoinOutcome {
+                    outcome,
+                    status: PairStatus::Failed(PairError {
+                        phase: PairPhase::Matching,
+                        message: fault::panic_message(&*payload),
+                    }),
+                };
+            }
+        };
+        outcome.candidate_pairs = candidate_values.len();
+
+        // 2. Transformation discovery.
+        let synth_start = Instant::now();
+        let engine = SynthesisEngine::new(self.config.synthesis.clone());
+        let synthesized = catch_unwind(AssertUnwindSafe(|| {
+            fault::fire(FaultSite::SynthesisPhase);
+            engine.discover_from_strings_budgeted(&candidate_values, token)
+        }));
+        outcome.synthesis_time = synth_start.elapsed();
+        let result = match synthesized {
+            Ok(Ok(result)) => result,
+            Ok(Err(exceeded)) => {
+                return GuardedJoinOutcome {
+                    outcome,
+                    status: PairStatus::TimedOut { phase: PairPhase::Synthesis, exceeded },
+                };
+            }
+            Err(payload) => {
+                return GuardedJoinOutcome {
+                    outcome,
+                    status: PairStatus::Failed(PairError {
+                        phase: PairPhase::Synthesis,
+                        message: fault::panic_message(&*payload),
+                    }),
+                };
+            }
+        };
+
+        // 3. Support filtering (infallible bookkeeping).
+        outcome.transformations = result.cover.filter_by_support(self.config.join_min_support);
+
+        // 4–5. Transformed equi-join and evaluation.
+        let join_start = Instant::now();
+        let joined = catch_unwind(AssertUnwindSafe(|| {
+            fault::fire(FaultSite::JoinPhase);
+            self.equi_join_budgeted(
+                pair,
+                outcome.transformations.iter().map(|t| &t.transformation),
+                token,
+            )
+        }));
+        outcome.join_time = join_start.elapsed();
+        match joined {
+            Ok(Ok(predicted)) => {
+                outcome.predicted_pairs = predicted;
+                outcome.metrics = evaluate_join(&outcome.predicted_pairs, &pair.golden);
+                GuardedJoinOutcome { outcome, status: PairStatus::Ok }
+            }
+            Ok(Err(exceeded)) => GuardedJoinOutcome {
+                outcome,
+                status: PairStatus::TimedOut { phase: PairPhase::Join, exceeded },
+            },
+            Err(payload) => GuardedJoinOutcome {
+                outcome,
+                status: PairStatus::Failed(PairError {
+                    phase: PairPhase::Join,
+                    message: fault::panic_message(&*payload),
+                }),
+            },
+        }
+    }
+
     /// Joins a column pair given an explicit transformation list (used to
     /// evaluate baselines such as Auto-Join under the same join machinery).
     pub fn join_with_transformations<'a, I>(
@@ -214,10 +476,28 @@ impl JoinPipeline {
     where
         I: IntoIterator<Item = &'a Transformation>,
     {
+        self.equi_join_budgeted(pair, transformations, None)
+            .expect("unbudgeted equi-join cannot abort")
+    }
+
+    /// [`Self::equi_join`] with cooperative budget checks at the
+    /// transformation (serial path) and source-chunk (parallel path) loop
+    /// boundaries. With `budget == None` or a live token the result is
+    /// bit-identical to [`Self::equi_join`]; a tripped token aborts
+    /// all-or-nothing — no truncated pair list is ever returned.
+    pub fn equi_join_budgeted<'a, I>(
+        &self,
+        pair: &ColumnPair,
+        transformations: I,
+        budget: Option<&BudgetToken>,
+    ) -> Result<Vec<(u32, u32)>, BudgetExceeded>
+    where
+        I: IntoIterator<Item = &'a Transformation>,
+    {
         pair.assert_row_indexable();
         let transformations: Vec<&Transformation> = transformations.into_iter().collect();
         if transformations.is_empty() || pair.source.is_empty() || pair.target.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let normalize = &self.config.synthesis.normalize;
 
@@ -261,6 +541,9 @@ impl JoinPipeline {
             let mut predicted: Vec<(u32, u32)> = Vec::new();
             let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
             for transformation in &transformations {
+                if let Some(token) = budget {
+                    token.check()?;
+                }
                 for (src_row, src_value) in sources_normalized.iter().enumerate() {
                     let Some(out) = transformation.apply(src_value) else {
                         continue;
@@ -277,7 +560,7 @@ impl JoinPipeline {
                     }
                 }
             }
-            return predicted;
+            return Ok(predicted);
         }
 
         let join_row = |src_value: &str| -> RowJoinHits {
@@ -307,7 +590,7 @@ impl JoinPipeline {
         // Contiguous source-row chunks across the thread budget,
         // concatenated in order — the serial per-row sequence.
         let per_row: Vec<RowJoinHits> =
-            chunk_map(&sources_normalized, workers, |v| join_row(v));
+            chunk_map_budgeted(&sources_normalized, workers, budget, |v| join_row(v))?;
 
         // Assembly in the oracle's transformation-major order. Each row's
         // hits are sorted by transformation index, so one cursor per row
@@ -326,7 +609,7 @@ impl JoinPipeline {
                 }
             }
         }
-        predicted
+        Ok(predicted)
     }
 }
 
@@ -568,5 +851,92 @@ mod tests {
         assert_eq!(outcome_1.predicted_pairs, outcome_4.predicted_pairs);
         assert_eq!(outcome_1.metrics, outcome_4.metrics);
         assert_eq!(outcome_1.candidate_pairs, outcome_4.candidate_pairs);
+    }
+
+    #[test]
+    fn guarded_run_matches_unguarded_when_fault_free() {
+        let pair = staff_pair();
+        for threads in [1, 4] {
+            let pipeline =
+                JoinPipeline::new(JoinPipelineConfig::paper_default().with_threads(threads));
+            let plain = pipeline.run(&pair);
+            let guarded = pipeline.run_guarded(&pair, None, None);
+            assert_eq!(guarded.status, PairStatus::Ok);
+            assert_eq!(guarded.outcome.predicted_pairs, plain.predicted_pairs);
+            assert_eq!(guarded.outcome.metrics, plain.metrics);
+            assert_eq!(guarded.outcome.candidate_pairs, plain.candidate_pairs);
+            assert_eq!(
+                guarded.outcome.transformations.transformations,
+                plain.transformations.transformations
+            );
+        }
+    }
+
+    #[test]
+    fn guarded_run_with_unlimited_budget_matches_unguarded() {
+        let pair = staff_pair();
+        let pipeline = JoinPipeline::new(JoinPipelineConfig::paper_default().with_threads(4));
+        let plain = pipeline.run(&pair);
+        let budget = RunBudget::unlimited()
+            .with_byte_cap(u64::MAX)
+            .with_row_cap(u64::MAX);
+        let guarded = pipeline.run_guarded(&pair, None, Some(&budget));
+        assert_eq!(guarded.status, PairStatus::Ok);
+        assert_eq!(guarded.outcome.predicted_pairs, plain.predicted_pairs);
+        assert_eq!(guarded.outcome.metrics, plain.metrics);
+    }
+
+    #[test]
+    fn row_cap_rejects_pair_at_admission() {
+        let pair = staff_pair();
+        let pipeline = JoinPipeline::new(JoinPipelineConfig::paper_default().with_threads(2));
+        let budget = RunBudget::unlimited().with_row_cap(1);
+        let guarded = pipeline.run_guarded(&pair, None, Some(&budget));
+        assert_eq!(
+            guarded.status,
+            PairStatus::TimedOut {
+                phase: PairPhase::Matching,
+                exceeded: BudgetExceeded::Rows,
+            }
+        );
+        assert!(guarded.outcome.predicted_pairs.is_empty());
+        assert_eq!(guarded.outcome.candidate_pairs, 0);
+        // Metrics reflect predicting nothing, not garbage.
+        assert_eq!(guarded.outcome.metrics.true_positives, 0);
+    }
+
+    #[test]
+    fn zero_deadline_times_out_deterministically() {
+        let pair = staff_pair();
+        let pipeline = JoinPipeline::new(JoinPipelineConfig::paper_default().with_threads(2));
+        let budget = RunBudget::unlimited().with_deadline(Duration::ZERO);
+        for _ in 0..3 {
+            let guarded = pipeline.run_guarded(&pair, None, Some(&budget));
+            match guarded.status {
+                PairStatus::TimedOut { exceeded: BudgetExceeded::Deadline, .. } => {}
+                other => panic!("expected deadline timeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn byte_cap_rejects_pair_thread_invariantly() {
+        let pair = staff_pair();
+        let mut statuses = Vec::new();
+        for threads in [1, 2, 4] {
+            let pipeline =
+                JoinPipeline::new(JoinPipelineConfig::paper_default().with_threads(threads));
+            let budget = RunBudget::unlimited().with_byte_cap(8);
+            statuses.push(pipeline.run_guarded(&pair, None, Some(&budget)).status);
+        }
+        for status in &statuses {
+            assert_eq!(
+                *status,
+                PairStatus::TimedOut {
+                    phase: PairPhase::Matching,
+                    exceeded: BudgetExceeded::Bytes,
+                }
+            );
+        }
     }
 }

@@ -97,8 +97,10 @@ fn build_repository(
 /// scheduling counters are measurements, not results, and are exempt.)
 fn assert_outcomes_identical(a: &BatchJoinOutcome, b: &BatchJoinOutcome, context: &str) {
     assert_eq!(a.reports.len(), b.reports.len(), "{context}: report count");
+    assert_eq!(a.faults, b.faults, "{context}: fault tallies");
     for (ra, rb) in a.reports.iter().zip(&b.reports) {
         assert_eq!(ra.name, rb.name, "{context}: report order");
+        assert_eq!(ra.status, rb.status, "{context}: status of {}", ra.name);
         assert_eq!(
             ra.outcome.predicted_pairs, rb.outcome.predicted_pairs,
             "{context}: predicted pairs of {}",

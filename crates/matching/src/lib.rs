@@ -54,7 +54,7 @@ pub mod reference;
 
 pub use golden::golden_pairs;
 pub use metrics::{evaluate_pairs, MatchingMetrics};
-pub use ngram::{NGramMatcher, NGramMatcherConfig, RowMatch};
+pub use ngram::{MatchAbort, NGramMatcher, NGramMatcherConfig, RowMatch};
 pub use reference::find_candidates_reference;
 
 /// Which row-matching mode produced a pair set; experiment tables report

@@ -39,11 +39,44 @@
 //! enforces differentially.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use tjoin_datasets::{row_id, ColumnPair};
 use tjoin_text::{
-    chunk_map, normalize_for_matching, ColumnStats, FxHashSet, GramCorpus, NGramIndex,
-    NormalizeOptions,
+    chunk_map_budgeted, normalize_for_matching, BudgetExceeded, BudgetToken, ColumnStats,
+    CorpusFailure, FxHashSet, GramCorpus, NGramIndex, NormalizeOptions,
 };
+
+/// Why a fallible matcher call ([`NGramMatcher::try_find_candidates`])
+/// aborted instead of producing candidates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchAbort {
+    /// The pair's [`BudgetToken`] tripped (deadline or admission cap).
+    Budget(BudgetExceeded),
+    /// A shared-corpus artifact this pair depends on has a sticky build
+    /// failure (contained panic recorded in the corpus cache).
+    Corpus(CorpusFailure),
+}
+
+impl fmt::Display for MatchAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchAbort::Budget(cause) => write!(f, "matching aborted: {cause}"),
+            MatchAbort::Corpus(failure) => write!(f, "matching aborted: {failure}"),
+        }
+    }
+}
+
+impl From<BudgetExceeded> for MatchAbort {
+    fn from(cause: BudgetExceeded) -> Self {
+        MatchAbort::Budget(cause)
+    }
+}
+
+impl From<CorpusFailure> for MatchAbort {
+    fn from(failure: CorpusFailure) -> Self {
+        MatchAbort::Corpus(failure)
+    }
+}
 
 /// Configuration of the [`NGramMatcher`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -145,25 +178,8 @@ impl NGramMatcher {
     /// bit-identical to [`crate::reference::find_candidates_reference`] at
     /// any thread count).
     pub fn find_candidates(&self, pair: &ColumnPair) -> Vec<RowMatch> {
-        pair.assert_row_indexable();
-        let source: Vec<String> = pair
-            .source
-            .iter()
-            .map(|v| normalize_for_matching(v, &self.config.normalize))
-            .collect();
-        let target: Vec<String> = pair
-            .target
-            .iter()
-            .map(|v| normalize_for_matching(v, &self.config.normalize))
-            .collect();
-
-        // Shared read-only scan state, built once for all workers: column
-        // statistics for IRF on both sides and the inverted index on the
-        // target column for the containment lookup.
-        let source_stats = ColumnStats::build(&source, self.config.n_min, self.config.n_max);
-        let target_stats = ColumnStats::build(&target, self.config.n_min, self.config.n_max);
-        let target_index = NGramIndex::build(&target, self.config.n_min, self.config.n_max);
-        self.scan_columns(&source, &source_stats, &target_stats, &target_index)
+        self.try_find_candidates(pair, None, None)
+            .expect("matching without a budget or corpus cannot abort")
     }
 
     /// [`Self::find_candidates`] over a shared [`GramCorpus`]: the pair's
@@ -178,19 +194,78 @@ impl NGramMatcher {
     /// both equalities). The corpus must normalize exactly as this matcher's
     /// configuration does.
     pub fn find_candidates_in(&self, pair: &ColumnPair, corpus: &GramCorpus) -> Vec<RowMatch> {
+        self.try_find_candidates(pair, Some(corpus), None)
+            .unwrap_or_else(|abort| panic!("{abort}"))
+    }
+
+    /// The fallible core of [`Self::find_candidates`] /
+    /// [`Self::find_candidates_in`]: runs the same scan — bit-identically
+    /// when it completes — but aborts cleanly with a [`MatchAbort`] instead
+    /// of panicking or hanging when the pair's `budget` trips or a shared
+    /// `corpus` artifact has a sticky build failure. With `corpus = None`
+    /// the per-call artifacts are built directly; with `budget = None`
+    /// nothing is checked and `Ok` is guaranteed absent corpus failures.
+    ///
+    /// The budget is checked between the expensive build steps (each
+    /// normalization pass, stats build, and index build) and cooperatively
+    /// inside the row scan, so a tripped deadline stops the pair within one
+    /// build step or row chunk.
+    pub fn try_find_candidates(
+        &self,
+        pair: &ColumnPair,
+        corpus: Option<&GramCorpus>,
+        budget: Option<&BudgetToken>,
+    ) -> Result<Vec<RowMatch>, MatchAbort> {
         pair.assert_row_indexable();
-        assert_eq!(
-            corpus.options(),
-            &self.config.normalize,
-            "corpus normalization differs from the matcher configuration"
-        );
+        let check = |budget: Option<&BudgetToken>| -> Result<(), MatchAbort> {
+            match budget {
+                Some(token) => token.check().map_err(MatchAbort::from),
+                None => Ok(()),
+            }
+        };
+        check(budget)?;
         let (n_min, n_max) = (self.config.n_min, self.config.n_max);
-        let source = corpus.column(&pair.source);
-        let target = corpus.column(&pair.target);
-        let source_stats = source.stats(n_min, n_max);
-        let target_stats = target.stats(n_min, n_max);
-        let target_index = target.index(n_min, n_max);
-        self.scan_columns(source.normalized(), &source_stats, &target_stats, &target_index)
+        if let Some(corpus) = corpus {
+            assert_eq!(
+                corpus.options(),
+                &self.config.normalize,
+                "corpus normalization differs from the matcher configuration"
+            );
+            let source = corpus.try_column(&pair.source)?;
+            check(budget)?;
+            let target = corpus.try_column(&pair.target)?;
+            check(budget)?;
+            let source_stats = source.try_stats(n_min, n_max)?;
+            let target_stats = target.try_stats(n_min, n_max)?;
+            check(budget)?;
+            let target_index = target.try_index(n_min, n_max)?;
+            check(budget)?;
+            self.scan_columns(source.normalized(), &source_stats, &target_stats, &target_index, budget)
+                .map_err(MatchAbort::from)
+        } else {
+            // Shared read-only scan state, built once for all workers:
+            // column statistics for IRF on both sides and the inverted
+            // index on the target column for the containment lookup.
+            let source: Vec<String> = pair
+                .source
+                .iter()
+                .map(|v| normalize_for_matching(v, &self.config.normalize))
+                .collect();
+            check(budget)?;
+            let target: Vec<String> = pair
+                .target
+                .iter()
+                .map(|v| normalize_for_matching(v, &self.config.normalize))
+                .collect();
+            check(budget)?;
+            let source_stats = ColumnStats::build(&source, n_min, n_max);
+            let target_stats = ColumnStats::build(&target, n_min, n_max);
+            check(budget)?;
+            let target_index = NGramIndex::build(&target, n_min, n_max);
+            check(budget)?;
+            self.scan_columns(&source, &source_stats, &target_stats, &target_index, budget)
+                .map_err(MatchAbort::from)
+        }
     }
 
     /// The planned parallel scan over already-normalized columns and
@@ -203,12 +278,15 @@ impl NGramMatcher {
         source_stats: &ColumnStats,
         target_stats: &ColumnStats,
         target_index: &NGramIndex,
-    ) -> Vec<RowMatch> {
+        budget: Option<&BudgetToken>,
+    ) -> Result<Vec<RowMatch>, BudgetExceeded> {
         // Contiguous row chunks across the thread budget, concatenated in
         // order — the per-row sequence is the serial scan's at any budget.
-        let per_row: Vec<RowHits> = chunk_map(source, self.config.threads, |row| {
+        // The budget (deadline only; caps are charged at admission) is
+        // checked before every row, aborting the whole scan on a trip.
+        let per_row: Vec<RowHits> = chunk_map_budgeted(source, self.config.threads, budget, |row| {
             self.scan_row(row, source_stats, target_stats, target_index)
-        });
+        })?;
 
         // Assembly in the oracle's size-major order. Each row's hits are
         // sorted by size, so one cursor per row makes this linear in the
@@ -227,7 +305,7 @@ impl NGramMatcher {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Scans one normalized source row: selects the representative n-gram of
@@ -300,6 +378,18 @@ impl NGramMatcher {
         corpus: &GramCorpus,
     ) -> Vec<(String, String)> {
         Self::materialize_pairs(pair, self.find_candidates_in(pair, corpus))
+    }
+
+    /// Fallible [`Self::candidate_value_pairs`] /
+    /// [`Self::candidate_value_pairs_in`] over an optional corpus and
+    /// budget (see [`Self::try_find_candidates`]).
+    pub fn try_candidate_value_pairs(
+        &self,
+        pair: &ColumnPair,
+        corpus: Option<&GramCorpus>,
+        budget: Option<&BudgetToken>,
+    ) -> Result<Vec<(String, String)>, MatchAbort> {
+        Ok(Self::materialize_pairs(pair, self.try_find_candidates(pair, corpus, budget)?))
     }
 
     fn materialize_pairs(pair: &ColumnPair, matches: Vec<RowMatch>) -> Vec<(String, String)> {
@@ -637,5 +727,39 @@ mod tests {
         assert_eq!(found, oracle);
         let targets: Vec<u32> = found.iter().map(|m| m.target_row).collect();
         assert_eq!(targets, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn live_budget_is_bit_identical_to_unbudgeted() {
+        let pair = staff_pair();
+        let budget = tjoin_text::RunBudget::unlimited().token();
+        for threads in [1usize, 2, 4] {
+            let matcher = NGramMatcher::new(NGramMatcherConfig::default().with_threads(threads));
+            assert_eq!(
+                matcher.try_find_candidates(&pair, None, Some(&budget)).unwrap(),
+                matcher.find_candidates(&pair),
+                "diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn tripped_budget_aborts_cleanly() {
+        let pair = staff_pair();
+        let budget = tjoin_text::RunBudget::unlimited()
+            .with_deadline(std::time::Duration::ZERO)
+            .token();
+        let matcher = NGramMatcher::new(NGramMatcherConfig::default().with_threads(2));
+        assert_eq!(
+            matcher.try_find_candidates(&pair, None, Some(&budget)),
+            Err(MatchAbort::Budget(tjoin_text::BudgetExceeded::Deadline))
+        );
+        // The corpus path aborts identically, before interning anything.
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        assert_eq!(
+            matcher.try_find_candidates(&pair, Some(&corpus), Some(&budget)),
+            Err(MatchAbort::Budget(tjoin_text::BudgetExceeded::Deadline))
+        );
+        assert_eq!(corpus.column_count(), 0);
     }
 }

@@ -27,6 +27,15 @@
 //!   their own column. [`GramCorpus::stats`] exposes the intern/build/hit
 //!   counters the differential tests and the `join_throughput` bench
 //!   assert on.
+//! * **Build failures are contained and sticky.** Every lazy build runs
+//!   under `catch_unwind`: a panicking `ColumnStats`/`NGramIndex`/column
+//!   build records a [`CorpusFailure`] *in the cache entry* instead of
+//!   poisoning the lock, so one bad column fails exactly the pairs that
+//!   reference it — cleanly, via the `try_*` accessors — while every other
+//!   entry keeps serving. Corpus locks are taken through
+//!   [`crate::fault::lock_recover`], so even an externally poisoned mutex
+//!   (exercised by the fault-injection harness) cannot take down later
+//!   hits. Failed entries are counted in [`CorpusStats`].
 //!
 //! Everything a corpus serves is a pure function of the column's cells, the
 //! corpus's [`NormalizeOptions`], and the requested size range — the same
@@ -35,11 +44,14 @@
 //! per-call path, which `crates/join/tests/proptest_batch.rs` enforces
 //! differentially.
 
+use crate::fault::{self, FaultSite};
 use crate::fingerprint::{fingerprint64, fingerprint64_chain};
 use crate::fxhash::FxHashMap;
 use crate::index::NGramIndex;
 use crate::normalize::{normalize_for_matching, NormalizeOptions};
 use crate::scoring::ColumnStats;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -52,13 +64,43 @@ pub fn column_fingerprint(cells: &[String]) -> u64 {
     )
 }
 
+/// A contained, sticky corpus build failure: the artifact whose lazy build
+/// panicked plus the panic's message. Recorded in the cache entry, so every
+/// later request for the same artifact observes the same failure instead of
+/// a poisoned lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusFailure {
+    /// Which artifact failed to build (`"column"`, `"stats"`, `"index"`).
+    pub artifact: &'static str,
+    /// The contained panic's message.
+    pub message: String,
+}
+
+impl CorpusFailure {
+    fn new(artifact: &'static str, payload: Box<dyn std::any::Any + Send>) -> Self {
+        Self {
+            artifact,
+            message: fault::panic_message(&*payload),
+        }
+    }
+}
+
+impl fmt::Display for CorpusFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corpus {} build failed: {}", self.artifact, self.message)
+    }
+}
+
+impl std::error::Error for CorpusFailure {}
+
 /// Intern/build/hit counters of a [`GramCorpus`] (see [`GramCorpus::stats`]).
 ///
 /// `columns_interned` is the number of *distinct* columns normalized — each
 /// exactly once — while `column_hits` counts the [`GramCorpus::column`]
 /// calls served from cache: every hit is a whole-column normalization the
 /// per-call path would have re-run. The same applies to the stats/index
-/// pairs of counters.
+/// pairs of counters. The `*_failed` counters record sticky build failures
+/// (always 0 outside fault injection and pathological inputs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CorpusStats {
     /// Distinct columns interned (normalization passes actually run).
@@ -73,6 +115,12 @@ pub struct CorpusStats {
     pub indexes_built: usize,
     /// `index()` calls served from cache.
     pub index_hits: usize,
+    /// Column builds that panicked and were recorded as sticky failures.
+    pub columns_failed: usize,
+    /// `ColumnStats` builds recorded as sticky failures.
+    pub stats_failed: usize,
+    /// `NGramIndex` builds recorded as sticky failures.
+    pub indexes_failed: usize,
 }
 
 impl CorpusStats {
@@ -81,7 +129,16 @@ impl CorpusStats {
     pub fn normalizations_saved(&self) -> usize {
         self.column_hits
     }
+
+    /// Total sticky build failures across all artifact kinds.
+    pub fn total_failures(&self) -> usize {
+        self.columns_failed + self.stats_failed + self.indexes_failed
+    }
 }
+
+/// A per-size-range artifact cache entry: the built artifact or its sticky
+/// contained failure, keyed by `(n_min, n_max)`.
+type ArtifactCache<A> = FxHashMap<(usize, usize), Result<Arc<A>, CorpusFailure>>;
 
 /// One interned column: its normalized cells plus lazily built, cached gram
 /// artifacts per `(n_min, n_max)` size range. Obtained from
@@ -90,8 +147,8 @@ impl CorpusStats {
 #[derive(Debug)]
 pub struct CorpusColumn {
     normalized: Vec<String>,
-    stats: Mutex<FxHashMap<(usize, usize), Arc<ColumnStats>>>,
-    indexes: Mutex<FxHashMap<(usize, usize), Arc<NGramIndex>>>,
+    stats: Mutex<ArtifactCache<ColumnStats>>,
+    indexes: Mutex<ArtifactCache<NGramIndex>>,
     stats_hits: AtomicUsize,
     index_hits: AtomicUsize,
 }
@@ -117,30 +174,66 @@ impl CorpusColumn {
 
     /// The column's [`ColumnStats`] over grams of sizes `n_min..=n_max`,
     /// built on first request and cached (exactly-once under concurrency).
-    pub fn stats(&self, n_min: usize, n_max: usize) -> Arc<ColumnStats> {
-        let mut cache = self.stats.lock().expect("corpus stats lock");
-        if let Some(stats) = cache.get(&(n_min, n_max)) {
-            self.stats_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(stats);
+    /// A panicking build is contained and recorded as a sticky
+    /// [`CorpusFailure`] served to every requester of this entry; the cache
+    /// lock is never poisoned by it.
+    pub fn try_stats(&self, n_min: usize, n_max: usize) -> Result<Arc<ColumnStats>, CorpusFailure> {
+        if fault::should_poison(FaultSite::CorpusStatsBuild) {
+            fault::poison_mutex(&self.stats);
         }
-        let stats = Arc::new(ColumnStats::build(&self.normalized, n_min, n_max));
-        cache.insert((n_min, n_max), Arc::clone(&stats));
-        stats
+        let mut cache = fault::lock_recover(&self.stats);
+        if let Some(entry) = cache.get(&(n_min, n_max)) {
+            self.stats_hits.fetch_add(1, Ordering::Relaxed);
+            return entry.clone();
+        }
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            fault::fire(FaultSite::CorpusStatsBuild);
+            Arc::new(ColumnStats::build(&self.normalized, n_min, n_max))
+        }))
+        .map_err(|payload| CorpusFailure::new("stats", payload));
+        cache.insert((n_min, n_max), built.clone());
+        built
+    }
+
+    /// Infallible [`Self::try_stats`]: panics with the recorded failure's
+    /// message when the entry is a sticky failure (callers that need
+    /// containment use `try_stats`).
+    pub fn stats(&self, n_min: usize, n_max: usize) -> Arc<ColumnStats> {
+        self.try_stats(n_min, n_max).unwrap_or_else(|failure| panic!("{failure}"))
     }
 
     /// The column's inverted [`NGramIndex`] over sizes `n_min..=n_max`,
-    /// built on first request and cached (exactly-once under concurrency).
-    pub fn index(&self, n_min: usize, n_max: usize) -> Arc<NGramIndex> {
-        let mut cache = self.indexes.lock().expect("corpus index lock");
-        if let Some(index) = cache.get(&(n_min, n_max)) {
-            self.index_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(index);
+    /// built on first request and cached (exactly-once under concurrency),
+    /// with the same sticky-failure containment as [`Self::try_stats`].
+    pub fn try_index(&self, n_min: usize, n_max: usize) -> Result<Arc<NGramIndex>, CorpusFailure> {
+        if fault::should_poison(FaultSite::CorpusIndexBuild) {
+            fault::poison_mutex(&self.indexes);
         }
-        let index = Arc::new(NGramIndex::build(&self.normalized, n_min, n_max));
-        cache.insert((n_min, n_max), Arc::clone(&index));
-        index
+        let mut cache = fault::lock_recover(&self.indexes);
+        if let Some(entry) = cache.get(&(n_min, n_max)) {
+            self.index_hits.fetch_add(1, Ordering::Relaxed);
+            return entry.clone();
+        }
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            fault::fire(FaultSite::CorpusIndexBuild);
+            Arc::new(NGramIndex::build(&self.normalized, n_min, n_max))
+        }))
+        .map_err(|payload| CorpusFailure::new("index", payload));
+        cache.insert((n_min, n_max), built.clone());
+        built
+    }
+
+    /// Infallible [`Self::try_index`]: panics with the recorded failure's
+    /// message when the entry is a sticky failure.
+    pub fn index(&self, n_min: usize, n_max: usize) -> Arc<NGramIndex> {
+        self.try_index(n_min, n_max).unwrap_or_else(|failure| panic!("{failure}"))
     }
 }
+
+/// A cached intern cell: exactly one racer builds, and what it records —
+/// the built column or its contained failure — is what every requester of
+/// this fingerprint observes from then on.
+type ColumnCell = OnceLock<Result<Arc<CorpusColumn>, CorpusFailure>>;
 
 /// A repository-wide interned corpus of column text (see the module docs).
 ///
@@ -155,7 +248,7 @@ impl CorpusColumn {
 #[derive(Debug)]
 pub struct GramCorpus {
     options: NormalizeOptions,
-    columns: Mutex<FxHashMap<u64, Arc<OnceLock<Arc<CorpusColumn>>>>>,
+    columns: Mutex<FxHashMap<u64, Arc<ColumnCell>>>,
     column_hits: AtomicUsize,
     /// Debug-build collision check: the raw cells behind every fingerprint,
     /// compared on each cache hit. At 64 chained bits a repository would
@@ -187,15 +280,19 @@ impl GramCorpus {
     /// entry; the column is normalized exactly once across all calls, from
     /// any thread. The normalization runs outside the global intern lock —
     /// distinct columns build concurrently, racers on the same column wait
-    /// on its cell.
-    pub fn column(&self, raw: &[String]) -> Arc<CorpusColumn> {
+    /// on its cell. A panicking build is contained and recorded as this
+    /// fingerprint's sticky [`CorpusFailure`].
+    pub fn try_column(&self, raw: &[String]) -> Result<Arc<CorpusColumn>, CorpusFailure> {
+        if fault::should_poison(FaultSite::CorpusColumnBuild) {
+            fault::poison_mutex(&self.columns);
+        }
         let key = column_fingerprint(raw);
         let cell = {
-            let mut columns = self.columns.lock().expect("corpus column lock");
+            let mut columns = fault::lock_recover(&self.columns);
             if let Some(cell) = columns.get(&key) {
                 #[cfg(debug_assertions)]
                 {
-                    let shadow = self.shadow.lock().expect("corpus shadow lock");
+                    let shadow = fault::lock_recover(&self.shadow);
                     let prev = shadow.get(&key).expect("shadowed column present");
                     debug_assert_eq!(
                         prev.as_slice(),
@@ -205,36 +302,42 @@ impl GramCorpus {
                 }
                 Arc::clone(cell)
             } else {
-                let cell = Arc::new(OnceLock::new());
+                let cell = Arc::new(ColumnCell::new());
                 columns.insert(key, Arc::clone(&cell));
                 #[cfg(debug_assertions)]
-                self.shadow
-                    .lock()
-                    .expect("corpus shadow lock")
-                    .insert(key, raw.to_vec());
+                fault::lock_recover(&self.shadow).insert(key, raw.to_vec());
                 cell
             }
         };
         let mut built = false;
         let entry = cell.get_or_init(|| {
             built = true;
-            Arc::new(CorpusColumn::build(raw, &self.options))
+            catch_unwind(AssertUnwindSafe(|| {
+                fault::fire(FaultSite::CorpusColumnBuild);
+                Arc::new(CorpusColumn::build(raw, &self.options))
+            }))
+            .map_err(|payload| CorpusFailure::new("column", payload))
         });
         if !built {
             // Served from cache (whether the cell pre-existed or another
             // racer built it first): one whole-column normalization saved.
             self.column_hits.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::clone(entry)
+        entry.clone()
     }
 
-    /// Number of distinct columns interned (built) so far.
+    /// Infallible [`Self::try_column`]: panics with the recorded failure's
+    /// message when the entry is a sticky failure (callers that need
+    /// containment use `try_column`).
+    pub fn column(&self, raw: &[String]) -> Arc<CorpusColumn> {
+        self.try_column(raw).unwrap_or_else(|failure| panic!("{failure}"))
+    }
+
+    /// Number of distinct columns interned (successfully built) so far.
     pub fn column_count(&self) -> usize {
-        self.columns
-            .lock()
-            .expect("corpus column lock")
+        fault::lock_recover(&self.columns)
             .values()
-            .filter(|cell| cell.get().is_some())
+            .filter(|cell| matches!(cell.get(), Some(Ok(_))))
             .count()
     }
 
@@ -242,17 +345,34 @@ impl GramCorpus {
     /// Columns whose build is still in flight on another thread are not
     /// counted yet.
     pub fn stats(&self) -> CorpusStats {
-        let columns = self.columns.lock().expect("corpus column lock");
+        let columns = fault::lock_recover(&self.columns);
         let mut stats = CorpusStats {
             columns_interned: 0,
             column_hits: self.column_hits.load(Ordering::Relaxed),
             ..CorpusStats::default()
         };
-        for column in columns.values().filter_map(|cell| cell.get()) {
+        for entry in columns.values().filter_map(|cell| cell.get()) {
+            let column = match entry {
+                Ok(column) => column,
+                Err(_) => {
+                    stats.columns_failed += 1;
+                    continue;
+                }
+            };
             stats.columns_interned += 1;
-            stats.stats_built += column.stats.lock().expect("corpus stats lock").len();
+            for built in fault::lock_recover(&column.stats).values() {
+                match built {
+                    Ok(_) => stats.stats_built += 1,
+                    Err(_) => stats.stats_failed += 1,
+                }
+            }
             stats.stats_hits += column.stats_hits.load(Ordering::Relaxed);
-            stats.indexes_built += column.indexes.lock().expect("corpus index lock").len();
+            for built in fault::lock_recover(&column.indexes).values() {
+                match built {
+                    Ok(_) => stats.indexes_built += 1,
+                    Err(_) => stats.indexes_failed += 1,
+                }
+            }
             stats.index_hits += column.index_hits.load(Ordering::Relaxed);
         }
         stats
@@ -280,6 +400,7 @@ mod tests {
         assert_eq!(stats.columns_interned, 1);
         assert_eq!(stats.column_hits, 1);
         assert_eq!(stats.normalizations_saved(), 1);
+        assert_eq!(stats.total_failures(), 0);
     }
 
     #[test]
@@ -383,5 +504,26 @@ mod tests {
         );
         assert_ne!(column_fingerprint(&col(&["ab"])), column_fingerprint(&col(&["a", "b"])));
         assert_ne!(column_fingerprint(&[]), column_fingerprint(&col(&[""])));
+    }
+
+    #[test]
+    fn poisoned_corpus_locks_are_recovered_not_fatal() {
+        // Poison every corpus lock from a side thread, then use the corpus
+        // normally: lock_recover must serve consistent cached state.
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let entry = corpus.column(&col(&["abcdef", "abcxyz"]));
+        let before = entry.stats(2, 4);
+        fault::poison_mutex(&corpus.columns);
+        fault::poison_mutex(&entry.stats);
+        fault::poison_mutex(&entry.indexes);
+        let again = corpus.column(&col(&["abcdef", "abcxyz"]));
+        assert!(Arc::ptr_eq(&entry, &again));
+        assert!(Arc::ptr_eq(&before, &again.stats(2, 4)));
+        let _ = again.index(2, 4);
+        let stats = corpus.stats();
+        assert_eq!(stats.columns_interned, 1);
+        assert_eq!(stats.stats_built, 1);
+        assert_eq!(stats.indexes_built, 1);
+        assert_eq!(stats.total_failures(), 0);
     }
 }

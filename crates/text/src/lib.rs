@@ -24,6 +24,14 @@
 //!   re-derive its grams.
 //! * [`par`] — the deterministic chunked parallel map shared by the
 //!   matcher's row scan, the equi-join apply loop, and the batch runner.
+//! * [`budget`] — per-run cost budgets: a wall-clock deadline plus
+//!   deterministic row/byte admission caps, carried as a cheap atomic
+//!   cancellation token checked at the pipeline's existing chunk
+//!   boundaries. Overruns degrade the one pair, never the process.
+//! * [`fault`] — panic-containment helpers (payload-preserving messages,
+//!   poison-recovering locks) plus the deterministic fault-injection
+//!   harness (`FaultPlan`, cfg-gated under `feature = "fault-injection"`)
+//!   that drives the batch layer's differential fault gate.
 //! * [`scoring`] — Inverse Row Frequency (IRF, Eq. 1) and the representative
 //!   score (Rscore, Eq. 2).
 //! * [`normalize`] — case/whitespace normalization applied before matching
@@ -32,8 +40,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod common;
 pub mod corpus;
+pub mod fault;
 pub mod fingerprint;
 pub mod fxhash;
 pub mod index;
@@ -43,8 +53,10 @@ pub mod par;
 pub mod scoring;
 pub mod tokenize;
 
+pub use budget::{BudgetExceeded, BudgetToken, RunBudget};
 pub use common::{common_substring_matches, lcs_ratio, longest_common_substring, CommonMatch};
-pub use corpus::{column_fingerprint, CorpusColumn, CorpusStats, GramCorpus};
+pub use corpus::{column_fingerprint, CorpusColumn, CorpusFailure, CorpusStats, GramCorpus};
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use fingerprint::{fingerprint64, fingerprint64_chain};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::NGramIndex;
@@ -52,6 +64,6 @@ pub use ngram::{
     char_ngrams, char_ngrams_in_range, count_distinct_ngrams, ngram_containment, ngram_jaccard,
 };
 pub use normalize::{normalize_for_matching, NormalizeOptions};
-pub use par::chunk_map;
+pub use par::{chunk_map, chunk_map_budgeted};
 pub use scoring::{irf, rscore, ColumnStats};
 pub use tokenize::{is_separator_char, tokenize_with_separators, Token, TokenKind};

@@ -8,13 +8,25 @@
 //! by the caller. This module holds that pattern once; the
 //! in-order-concatenation invariant every differential oracle suite leans
 //! on lives here instead of being re-rolled per call site.
+//!
+//! Worker panics re-raise in the caller via
+//! [`std::panic::resume_unwind`] with the *original payload*, so a
+//! `catch_unwind` above the map (the batch runner's per-pair containment)
+//! observes exactly the message the worker panicked with. The budgeted
+//! variant [`chunk_map_budgeted`] additionally checks a
+//! [`BudgetToken`](crate::budget::BudgetToken) before every item and
+//! aborts the whole map — discarding partial results, which keeps budgeted
+//! aborts all-or-nothing — once the token trips.
+
+use crate::budget::{BudgetExceeded, BudgetToken};
 
 /// Maps `f` over `items` using up to `workers` scoped threads (one
 /// contiguous chunk per worker), returning results in item order.
 ///
 /// A budget of 0 or 1 — or fewer than two items — runs serially with no
 /// thread overhead. Output is identical at any budget; only wall-clock
-/// changes. Panics in `f` propagate to the caller.
+/// changes. Panics in `f` propagate to the caller with their original
+/// payload (via [`std::panic::resume_unwind`]).
 pub fn chunk_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -34,14 +46,84 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("chunk_map worker panicked"))
+            .flat_map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
+    })
+}
+
+/// [`chunk_map`] under a cooperative budget: every worker checks `budget`
+/// before each item and the whole map returns `Err` — with no partial
+/// results — once the token trips. With `budget = None` this is exactly
+/// [`chunk_map`].
+///
+/// The `Ok` output is bit-identical to [`chunk_map`] at any worker count;
+/// the only budget axis that can trip *mid-map* is the wall-clock deadline
+/// (row/byte charges happen at pipeline admission), so deterministic
+/// cap-based aborts never depend on chunk boundaries.
+pub fn chunk_map_budgeted<T, R, F>(
+    items: &[T],
+    workers: usize,
+    budget: Option<&BudgetToken>,
+    f: F,
+) -> Result<Vec<R>, BudgetExceeded>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let Some(budget) = budget else {
+        return Ok(chunk_map(items, workers, f));
+    };
+    let workers = workers.min(items.len()).max(1);
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            budget.check()?;
+            out.push(f(item));
+        }
+        return Ok(out);
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || -> Result<Vec<R>, BudgetExceeded> {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for item in chunk {
+                        budget.check()?;
+                        out.push(f(item));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        let mut results = Vec::with_capacity(items.len());
+        let mut aborted = None;
+        for handle in handles {
+            match handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)) {
+                Ok(chunk) => results.extend(chunk),
+                // The token's first recorded cause is shared, so every
+                // tripped worker reports the same value.
+                Err(cause) => aborted = Some(cause),
+            }
+        }
+        match aborted {
+            Some(cause) => Err(cause),
+            None => Ok(results),
+        }
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::RunBudget;
+    use std::time::Duration;
 
     #[test]
     fn matches_serial_map_at_any_budget() {
@@ -71,5 +153,64 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn worker_panic_payload_survives_verbatim() {
+        // The original payload — not a generic `.expect` message — must
+        // reach the caller's catch_unwind, at 1 worker and at many.
+        for workers in [1usize, 2, 4] {
+            let payload = std::panic::catch_unwind(|| {
+                chunk_map(&[1u8, 2, 3, 4], workers, |&x| {
+                    if x == 3 {
+                        std::panic::panic_any(format!("poisoned cell {x}"));
+                    }
+                    x
+                })
+            })
+            .unwrap_err();
+            assert_eq!(
+                crate::fault::panic_message(&*payload),
+                "poisoned cell 3",
+                "payload lost at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_map_without_budget_matches_plain() {
+        let items: Vec<u32> = (0..57).collect();
+        for workers in [1usize, 3, 8] {
+            assert_eq!(
+                chunk_map_budgeted(&items, workers, None, |&x| x * 2).unwrap(),
+                chunk_map(&items, workers, |&x| x * 2)
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_map_with_live_token_is_identical() {
+        let items: Vec<u32> = (0..57).collect();
+        let budget = RunBudget::unlimited().token();
+        for workers in [1usize, 3, 8] {
+            assert_eq!(
+                chunk_map_budgeted(&items, workers, Some(&budget), |&x| x * 2).unwrap(),
+                chunk_map(&items, workers, |&x| x * 2),
+                "diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn tripped_token_aborts_map_at_any_worker_count() {
+        let items: Vec<u32> = (0..57).collect();
+        let budget = RunBudget::unlimited().with_deadline(Duration::ZERO).token();
+        for workers in [1usize, 2, 8] {
+            assert_eq!(
+                chunk_map_budgeted(&items, workers, Some(&budget), |&x| x).unwrap_err(),
+                BudgetExceeded::Deadline,
+                "at {workers} workers"
+            );
+        }
     }
 }

@@ -53,14 +53,18 @@ pub mod prelude {
     pub use tjoin_baselines::{AutoFuzzyJoin, AutoFuzzyJoinConfig, AutoJoin, AutoJoinConfig};
     pub use tjoin_core::{CoverageAxis, SynthesisConfig, SynthesisEngine, SynthesisResult};
     pub use tjoin_datasets::{
-        BenchmarkKind, ColumnPair, RepositoryConfig, SyntheticConfig, Table, TablePair,
+        BenchmarkKind, ColumnPair, DatasetError, RepositoryConfig, SyntheticConfig, Table,
+        TablePair,
     };
     pub use tjoin_join::{
-        BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats, JoinPipeline, JoinPipelineConfig,
+        BatchFaultStats, BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats,
+        GuardedJoinOutcome, JoinPipeline, JoinPipelineConfig, PairError, PairPhase, PairStatus,
         RepositoryMetrics, RowMatchingStrategy,
     };
     pub use tjoin_matching::{MatchingMode, NGramMatcher, NGramMatcherConfig};
-    pub use tjoin_text::{CorpusStats, GramCorpus};
+    pub use tjoin_text::{
+        BudgetExceeded, CorpusStats, FaultKind, FaultPlan, FaultSite, GramCorpus, RunBudget,
+    };
     pub use tjoin_units::{CharStr, Transformation, TransformationSet, Unit, UnitKind};
 }
 
@@ -76,5 +80,9 @@ mod tests {
         let _ = NGramMatcherConfig::default();
         let _ = JoinPipelineConfig::paper_default();
         assert_eq!(MatchingMode::Golden.label(), "Golden");
+        let budget = RunBudget::unlimited().with_row_cap(10);
+        assert!(budget.token().charge_rows(11).is_err());
+        assert!(PairStatus::Ok.is_ok());
+        assert!(FaultPlan::new().is_empty());
     }
 }
