@@ -20,6 +20,11 @@
 //!   (normalizations saved, asserted thread-count-invariant) — on this
 //!   one-core box the wall-clock gap is scheduling noise, so the counters
 //!   are the tracked claim.
+//! * **Arena vs `Vec<String>` representation**: the per-call matcher over a
+//!   columnar `ArenaPair` (workers slicing one shared byte buffer) against
+//!   the retained `Vec<String>` per-call path, serial and at 4 threads, and
+//!   the arena-backed equi-join against the owned-string oracle. Outputs
+//!   asserted bit-identical; the ratios are tracked, pathology-only gated.
 //! * **Isolation overhead**: the unguarded per-pair pipeline against
 //!   `run_guarded` (per-phase `catch_unwind` containment) and against
 //!   `run_guarded` with a live unlimited budget token (admission charging +
@@ -230,7 +235,24 @@ fn join_throughput_comparison(_c: &mut Criterion) {
         black_box(skew_runner.run(black_box(&skewed)));
     });
 
-    // --- Leg 5: isolation overhead — unguarded vs guarded pipeline. ---
+    // --- Leg 5: arena vs Vec<String> representations on the hot path. ---
+    // Same matcher workload through the columnar arena: build once, then
+    // every scan slices the shared buffer instead of cloning cell strings.
+    let m_arena_pair = m_pair.to_arena().expect("bench columns fit u32 space");
+    assert_eq!(serial_matcher.find_candidates_arena(&m_arena_pair), reference_matches);
+    assert_eq!(parallel_matcher.find_candidates_arena(&m_arena_pair), reference_matches);
+    let arena_matcher_secs = time_seconds(samples, || {
+        black_box(serial_matcher.find_candidates_arena(black_box(&m_arena_pair)));
+    });
+    let arena_matcher_4t_secs = time_seconds(samples, || {
+        black_box(parallel_matcher.find_candidates_arena(black_box(&m_arena_pair)));
+    });
+    // The equi-join side needs no separate timing: leg 2's fingerprint join
+    // *is* the arena-backed path (normalization lands in shared arenas that
+    // the workers slice), and its `Vec<String>` comparator is the
+    // owned-string reference oracle timed alongside it.
+
+    // --- Leg 6: isolation overhead — unguarded vs guarded pipeline. ---
     let iso_pair = matcher_pair(400);
     let iso_pipeline = JoinPipeline::new(JoinPipelineConfig::paper_default());
     let iso_budget = RunBudget::unlimited()
@@ -263,10 +285,12 @@ fn join_throughput_comparison(_c: &mut Criterion) {
     let join_parallel_speedup = j_fingerprint_secs / j_fingerprint_4t_secs;
     let batch_speedup = b_serial_secs / b_parallel_secs;
     let skew_speedup = skew_static_secs / skew_stealing_secs;
+    let arena_matcher_relative = m_serial_secs / arena_matcher_secs;
+    let arena_matcher_parallel_relative = m_parallel_secs / arena_matcher_4t_secs;
     let guarded_relative = iso_plain_secs / iso_guarded_secs;
     let budgeted_relative = iso_plain_secs / iso_budgeted_secs;
     let summary = format!(
-        "{{\n  \"benchmark\": \"join_throughput\",\n  \"threads\": {THREADS},\n  \"matcher\": {{\n    \"rows\": {matcher_rows},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {m_reference_secs:.6},\n    \"fused_serial_median_seconds\": {m_serial_secs:.6},\n    \"parallel_median_seconds\": {m_parallel_secs:.6},\n    \"speedup_fused_vs_reference\": {matcher_fused_speedup:.2},\n    \"speedup_parallel_vs_fused_serial\": {matcher_parallel_speedup:.2},\n    \"candidates\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"equi_join\": {{\n    \"rows\": {join_rows},\n    \"transformations\": {},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {j_reference_secs:.6},\n    \"fingerprint_median_seconds\": {j_fingerprint_secs:.6},\n    \"fingerprint_parallel_median_seconds\": {j_fingerprint_4t_secs:.6},\n    \"speedup_fingerprint_vs_reference\": {join_fingerprint_speedup:.2},\n    \"speedup_parallel_vs_serial_fingerprint\": {join_parallel_speedup:.2},\n    \"predicted_pairs\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"batch\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 80,\n    \"samples\": {batch_samples},\n    \"budget_1_median_seconds\": {b_serial_secs:.6},\n    \"budget_4_median_seconds\": {b_parallel_secs:.6},\n    \"speedup_budget_4_vs_1\": {batch_speedup:.2},\n    \"joined_pairs\": {},\n    \"micro_f1\": {:.4},\n    \"macro_f1\": {:.4},\n    \"outcomes_bit_identical\": true\n  }},\n  \"batch_skew\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 50,\n    \"skew\": 8.0,\n    \"dominant_pair_rows\": {},\n    \"samples\": {skew_samples},\n    \"static_split_median_seconds\": {skew_static_secs:.6},\n    \"work_stealing_median_seconds\": {skew_stealing_secs:.6},\n    \"speedup_stealing_vs_static\": {skew_speedup:.2},\n    \"stolen_tasks\": {},\n    \"corpus_columns_interned\": {},\n    \"corpus_normalizations_saved\": {},\n    \"corpus_stats_reused\": {},\n    \"corpus_counts_thread_invariant\": true,\n    \"outcomes_bit_identical\": true\n  }},\n  \"isolation\": {{\n    \"rows\": 400,\n    \"samples\": {iso_samples},\n    \"unguarded_median_seconds\": {iso_plain_secs:.6},\n    \"guarded_median_seconds\": {iso_guarded_secs:.6},\n    \"guarded_budgeted_median_seconds\": {iso_budgeted_secs:.6},\n    \"relative_throughput_guarded\": {guarded_relative:.2},\n    \"relative_throughput_guarded_budgeted\": {budgeted_relative:.2},\n    \"outcomes_bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"join_throughput\",\n  \"threads\": {THREADS},\n  \"matcher\": {{\n    \"rows\": {matcher_rows},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {m_reference_secs:.6},\n    \"fused_serial_median_seconds\": {m_serial_secs:.6},\n    \"parallel_median_seconds\": {m_parallel_secs:.6},\n    \"speedup_fused_vs_reference\": {matcher_fused_speedup:.2},\n    \"speedup_parallel_vs_fused_serial\": {matcher_parallel_speedup:.2},\n    \"candidates\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"equi_join\": {{\n    \"rows\": {join_rows},\n    \"transformations\": {},\n    \"samples\": {samples},\n    \"reference_median_seconds\": {j_reference_secs:.6},\n    \"fingerprint_median_seconds\": {j_fingerprint_secs:.6},\n    \"fingerprint_parallel_median_seconds\": {j_fingerprint_4t_secs:.6},\n    \"speedup_fingerprint_vs_reference\": {join_fingerprint_speedup:.2},\n    \"speedup_parallel_vs_serial_fingerprint\": {join_parallel_speedup:.2},\n    \"predicted_pairs\": {},\n    \"outputs_bit_identical\": true\n  }},\n  \"arena\": {{\n    \"matcher_rows\": {matcher_rows},\n    \"samples\": {samples},\n    \"vec_matcher_median_seconds\": {m_serial_secs:.6},\n    \"arena_matcher_median_seconds\": {arena_matcher_secs:.6},\n    \"vec_matcher_parallel_median_seconds\": {m_parallel_secs:.6},\n    \"arena_matcher_parallel_median_seconds\": {arena_matcher_4t_secs:.6},\n    \"relative_throughput_arena_vs_vec\": {arena_matcher_relative:.2},\n    \"relative_throughput_arena_vs_vec_parallel\": {arena_matcher_parallel_relative:.2},\n    \"equi_join_vec_reference_median_seconds\": {j_reference_secs:.6},\n    \"equi_join_arena_median_seconds\": {j_fingerprint_secs:.6},\n    \"speedup_arena_join_vs_vec_reference\": {join_fingerprint_speedup:.2},\n    \"outputs_bit_identical\": true\n  }},\n  \"batch\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 80,\n    \"samples\": {batch_samples},\n    \"budget_1_median_seconds\": {b_serial_secs:.6},\n    \"budget_4_median_seconds\": {b_parallel_secs:.6},\n    \"speedup_budget_4_vs_1\": {batch_speedup:.2},\n    \"joined_pairs\": {},\n    \"micro_f1\": {:.4},\n    \"macro_f1\": {:.4},\n    \"outcomes_bit_identical\": true\n  }},\n  \"batch_skew\": {{\n    \"pairs\": {},\n    \"rows_per_pair\": 50,\n    \"skew\": 8.0,\n    \"dominant_pair_rows\": {},\n    \"samples\": {skew_samples},\n    \"static_split_median_seconds\": {skew_static_secs:.6},\n    \"work_stealing_median_seconds\": {skew_stealing_secs:.6},\n    \"speedup_stealing_vs_static\": {skew_speedup:.2},\n    \"stolen_tasks\": {},\n    \"corpus_columns_interned\": {},\n    \"corpus_normalizations_saved\": {},\n    \"corpus_stats_reused\": {},\n    \"corpus_counts_thread_invariant\": true,\n    \"outcomes_bit_identical\": true\n  }},\n  \"isolation\": {{\n    \"rows\": 400,\n    \"samples\": {iso_samples},\n    \"unguarded_median_seconds\": {iso_plain_secs:.6},\n    \"guarded_median_seconds\": {iso_guarded_secs:.6},\n    \"guarded_budgeted_median_seconds\": {iso_budgeted_secs:.6},\n    \"relative_throughput_guarded\": {guarded_relative:.2},\n    \"relative_throughput_guarded_budgeted\": {budgeted_relative:.2},\n    \"outcomes_bit_identical\": true\n  }}\n}}\n",
         reference_matches.len(),
         transformations.len(),
         reference_pairs.len(),
@@ -300,6 +324,11 @@ fn join_throughput_comparison(_c: &mut Criterion) {
         skew_corpus.normalizations_saved(),
     );
     println!(
+        "arena: matcher at {arena_matcher_relative:.2}x of the Vec<String> path serial \
+         ({m_serial_secs:.4}s -> {arena_matcher_secs:.4}s), \
+         {arena_matcher_parallel_relative:.2}x at {THREADS} threads"
+    );
+    println!(
         "isolation: guarded at {guarded_relative:.2}x of unguarded throughput \
          ({iso_plain_secs:.4}s -> {iso_guarded_secs:.4}s), budgeted at {budgeted_relative:.2}x"
     );
@@ -324,6 +353,11 @@ fn join_throughput_comparison(_c: &mut Criterion) {
         skew_speedup > 0.5,
         "work stealing collapsed to {skew_speedup:.2}x of the static split on the \
          skewed repository (one-core box — the scheduling win is multicore headroom)"
+    );
+    assert!(
+        arena_matcher_relative > 0.5 && arena_matcher_parallel_relative > 0.5,
+        "arena representation collapsed: serial at {arena_matcher_relative:.2}x, \
+         parallel at {arena_matcher_parallel_relative:.2}x of the Vec<String> path"
     );
     assert!(
         guarded_relative > 0.5 && budgeted_relative > 0.5,

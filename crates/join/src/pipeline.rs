@@ -21,8 +21,8 @@ use tjoin_core::{SynthesisConfig, SynthesisEngine};
 use tjoin_datasets::{row_id, ColumnPair};
 use tjoin_matching::{golden_pairs, MatchAbort, NGramMatcher, NGramMatcherConfig};
 use tjoin_text::{
-    chunk_map_budgeted, fault, fingerprint64, normalize_for_matching, BudgetExceeded, BudgetToken,
-    FaultSite, FxHashMap, FxHashSet, GramCorpus, RunBudget,
+    chunk_map_rows_budgeted, fault, fingerprint64, BudgetExceeded, BudgetToken, CellText,
+    ColumnArena, FaultSite, FxHashMap, FxHashSet, GramCorpus, RunBudget,
 };
 use tjoin_units::{Transformation, TransformationSet};
 
@@ -501,25 +501,21 @@ impl JoinPipeline {
         }
         let normalize = &self.config.synthesis.normalize;
 
-        // Normalize each column exactly once; the target's normalized
-        // values live in this single vector (probes compare against it)
-        // instead of being cloned into owned hash-map keys.
-        let targets_normalized: Vec<String> = pair
-            .target
-            .iter()
-            .map(|v| normalize_for_matching(v, normalize))
-            .collect();
-        let sources_normalized: Vec<String> = pair
-            .source
-            .iter()
-            .map(|v| normalize_for_matching(v, normalize))
-            .collect();
+        // Normalize each column exactly once, streaming into a columnar
+        // arena: one contiguous buffer per column instead of one String per
+        // cell, and probes compare against slices of it. The u32 capacity
+        // check subsumes `assert_row_indexable`; exceeding it panics with
+        // the typed message (contained per-pair by `run_guarded`).
+        let targets_normalized = ColumnArena::try_normalized(pair.target.as_slice(), normalize)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let sources_normalized = ColumnArena::try_normalized(pair.source.as_slice(), normalize)
+            .unwrap_or_else(|e| panic!("{e}"));
 
         // Fingerprint index over the target column: rows bucketed by the
         // 64-bit fingerprint of their normalized value, in ascending row
         // order (the same within-bucket order as the oracle's string map).
         let mut target_index: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        for (row, value) in targets_normalized.iter().enumerate() {
+        for (row, value) in targets_normalized.cells().enumerate() {
             target_index
                 .entry(fingerprint64(value))
                 .or_default()
@@ -544,7 +540,7 @@ impl JoinPipeline {
                 if let Some(token) = budget {
                     token.check()?;
                 }
-                for (src_row, src_value) in sources_normalized.iter().enumerate() {
+                for (src_row, src_value) in sources_normalized.cells().enumerate() {
                     let Some(out) = transformation.apply(src_value) else {
                         continue;
                     };
@@ -552,7 +548,7 @@ impl JoinPipeline {
                         continue;
                     };
                     for &tgt_row in rows {
-                        if targets_normalized[tgt_row as usize] == out
+                        if targets_normalized.cell(tgt_row as usize) == out
                             && seen.insert((row_id(src_row), tgt_row))
                         {
                             predicted.push((row_id(src_row), tgt_row));
@@ -578,7 +574,7 @@ impl JoinPipeline {
                 let new: Vec<u32> = rows
                     .iter()
                     .copied()
-                    .filter(|&r| targets_normalized[r as usize] == out && seen.insert(r))
+                    .filter(|&r| targets_normalized.cell(r as usize) == out && seen.insert(r))
                     .collect();
                 if !new.is_empty() {
                     hits.push((t_idx, new));
@@ -588,9 +584,12 @@ impl JoinPipeline {
         };
 
         // Contiguous source-row chunks across the thread budget,
-        // concatenated in order — the serial per-row sequence.
+        // concatenated in order — the serial per-row sequence. Workers
+        // index the shared source arena; no cell text crosses threads.
         let per_row: Vec<RowJoinHits> =
-            chunk_map_budgeted(&sources_normalized, workers, budget, |v| join_row(v))?;
+            chunk_map_rows_budgeted(sources_normalized.len(), workers, budget, |row| {
+                join_row(sources_normalized.cell(row))
+            })?;
 
         // Assembly in the oracle's transformation-major order. Each row's
         // hits are sorted by transformation index, so one cursor per row

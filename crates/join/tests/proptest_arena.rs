@@ -1,0 +1,185 @@
+//! Acceptance gate for the columnar-arena hot path: matcher, equi-join, and
+//! batch outputs on arena-backed columns must be bit-identical — same pairs,
+//! same order — to the retained `Vec<String>` reference representation at
+//! {1, 2, 4} threads.
+//!
+//! Four legs:
+//!
+//! * the per-call arena matcher (`find_candidates_arena`) vs
+//!   `tjoin_matching::reference::find_candidates_reference` on the same rows;
+//! * the corpus-backed arena matcher (`try_find_candidates_arena` against a
+//!   shared `GramCorpus`) vs the same oracle — and vs the `Vec<String>`
+//!   corpus path, which must intern to the same entries;
+//! * the arena-backed parallel equi-join vs
+//!   `tjoin_join::reference::equi_join_reference`;
+//! * the batch runner over pairs round-tripped through `ArenaPair`.
+//!
+//! Row shapes reuse the differential-suite mix (multi-byte UTF-8, empties,
+//! sub-`n_min` rows, duplicate fan-out, exact copies, gibberish) — the
+//! places where arena offset arithmetic or shared-slice scanning could
+//! diverge from per-cell owned strings.
+
+use proptest::prelude::*;
+use tjoin_datasets::ColumnPair;
+use tjoin_join::reference::equi_join_reference;
+use tjoin_join::{BatchJoinRunner, JoinPipeline, JoinPipelineConfig};
+use tjoin_matching::reference::find_candidates_reference;
+use tjoin_matching::{NGramMatcher, NGramMatcherConfig};
+use tjoin_text::GramCorpus;
+use tjoin_units::{Transformation, Unit};
+
+/// One generated row: `(source_value, target_value)`. The `kind` selects a
+/// row shape; the `seed` varies its content deterministically.
+fn row_from(kind: u8, seed: u64) -> (String, String) {
+    let a = seed % 50;
+    let b = (seed / 50) % 37;
+    match kind % 9 {
+        0 => (format!("last{a:02}, first{b:02}"), format!("f{b:02} last{a:02}")),
+        1 => (format!("name{a:02}, x{b:02}"), format!("x{b:02} name{a:02} common")),
+        // Source row shorter than the default n_min = 4.
+        2 => ("ab".into(), format!("f{b:02} last{a:02}")),
+        3 => (String::new(), format!("t{a:02}")),
+        4 => (format!("last{a:02}, first{b:02}"), String::new()),
+        // Duplicate-prone target (many-to-many fan-out).
+        5 => (format!("dup{:02}, val", seed % 4), format!("dup{:02}", seed % 4)),
+        6 => (format!("last{a:02}, first{b:02}"), format!("zz-{:04}-qq", seed % 10_000)),
+        // Multi-byte UTF-8 rows (arena offsets must stay char-aligned).
+        7 => (format!("Ωμέγα{a:02}, πρώτο{b:02}"), format!("π{b:02} ωμέγα{a:02}")),
+        _ => (format!("same value {a:02}"), format!("same value {a:02}")),
+    }
+}
+
+fn build_pair(specs: &[(u8, u64)]) -> ColumnPair {
+    let mut source = Vec::with_capacity(specs.len());
+    let mut target = Vec::with_capacity(specs.len());
+    for &(kind, seed) in specs {
+        let (s, t) = row_from(kind, seed);
+        source.push(s);
+        target.push(t);
+    }
+    ColumnPair::aligned("proptest-arena", source, target)
+}
+
+fn join_transformations() -> Vec<Transformation> {
+    vec![
+        Transformation::new(vec![
+            Unit::split_substr(' ', 1, 0, 1),
+            Unit::literal(" "),
+            Unit::split(',', 0),
+        ]),
+        Transformation::single(Unit::split(',', 0)),
+        Transformation::single(Unit::substr(0, 6)),
+        Transformation::new(vec![Unit::substr(0, 1), Unit::literal(" "), Unit::split(',', 0)]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The per-call arena matcher is bit-identical to the size-major
+    /// `Vec<String>` oracle at every thread count.
+    #[test]
+    fn arena_matcher_matches_reference(
+        specs in prop::collection::vec((0u8..9, 0u64..1_000_000), 0..24),
+        cap_raw in 0usize..7,
+    ) {
+        let pair = build_pair(&specs);
+        let arena_pair = pair.to_arena().expect("test columns fit u32 space");
+        let config = NGramMatcherConfig {
+            max_matches_per_representative: (cap_raw > 0).then_some(cap_raw),
+            ..NGramMatcherConfig::default()
+        };
+        let oracle = find_candidates_reference(&config, &pair);
+        for threads in [1usize, 2, 4] {
+            let matcher = NGramMatcher::new(config.clone().with_threads(threads));
+            let found = matcher.find_candidates_arena(&arena_pair);
+            prop_assert_eq!(&found, &oracle, "arena matcher diverged at {} threads", threads);
+        }
+    }
+
+    /// The corpus-backed arena matcher equals the oracle AND the
+    /// `Vec<String>` corpus path: both representations of the same cells
+    /// intern to the same corpus entries and produce identical matches.
+    #[test]
+    fn corpus_arena_matcher_matches_reference_and_vec_path(
+        specs in prop::collection::vec((0u8..9, 0u64..1_000_000), 0..20),
+    ) {
+        let pair = build_pair(&specs);
+        let arena_pair = pair.to_arena().expect("test columns fit u32 space");
+        let config = NGramMatcherConfig::default();
+        let oracle = find_candidates_reference(&config, &pair);
+        for threads in [1usize, 2, 4] {
+            let matcher = NGramMatcher::new(config.clone().with_threads(threads));
+            let corpus = GramCorpus::new(config.normalize);
+            let via_vec = matcher.find_candidates_in(&pair, &corpus);
+            let via_arena = matcher
+                .try_find_candidates_arena(&arena_pair, Some(&corpus), None)
+                .expect("corpus scan succeeds on test data");
+            prop_assert_eq!(&via_vec, &oracle, "vec corpus path diverged at {} threads", threads);
+            prop_assert_eq!(&via_arena, &oracle, "arena corpus path diverged at {} threads", threads);
+            // Same cells through both representations intern to the same
+            // entries: 4 lookups (vec + arena, source + target) against 1
+            // distinct column when source == target by content, else 2.
+            let distinct = if tjoin_text::column_fingerprint(&pair.source)
+                == tjoin_text::column_fingerprint(&pair.target)
+            {
+                1
+            } else {
+                2
+            };
+            let stats = corpus.stats();
+            prop_assert_eq!(stats.columns_interned, distinct);
+            prop_assert_eq!(stats.column_hits, 4 - distinct);
+        }
+    }
+
+    /// The arena-backed parallel equi-join is bit-identical to the retained
+    /// owned-string-keyed oracle at every thread count, and `ArenaPair`
+    /// round-trips the column pair it was built from.
+    #[test]
+    fn arena_equi_join_matches_reference(
+        specs in prop::collection::vec((0u8..9, 0u64..1_000_000), 0..32),
+    ) {
+        let pair = build_pair(&specs);
+        let arena_pair = pair.to_arena().expect("test columns fit u32 space");
+        prop_assert_eq!(&arena_pair.to_column_pair(), &pair);
+
+        let transformations = join_transformations();
+        let refs: Vec<&Transformation> = transformations.iter().collect();
+        let base = JoinPipelineConfig::paper_default();
+        let oracle = equi_join_reference(&pair, refs.iter().copied(), &base.synthesis.normalize);
+        for threads in [1usize, 2, 4] {
+            let pipeline = JoinPipeline::new(base.clone().with_threads(threads));
+            let predicted = pipeline.equi_join(&pair, refs.iter().copied());
+            prop_assert_eq!(&predicted, &oracle, "equi-join diverged at {} threads", threads);
+        }
+    }
+
+    /// The batch runner over pairs round-tripped through `ArenaPair` is
+    /// thread-invariant and equal to the batch over the original pairs.
+    #[test]
+    fn batch_over_arena_roundtrip_matches_original(
+        specs in prop::collection::vec((0u8..9, 0u64..1_000_000), 1..12),
+    ) {
+        let pair = build_pair(&specs);
+        let roundtripped = pair.to_arena().expect("fits").to_column_pair();
+        let repository = vec![pair, roundtripped];
+        let config = JoinPipelineConfig::paper_default();
+        let baseline = BatchJoinRunner::new(config.clone(), 1).run(&repository);
+        prop_assert_eq!(
+            &baseline.reports[0].outcome.predicted_pairs,
+            &baseline.reports[1].outcome.predicted_pairs
+        );
+        prop_assert_eq!(&baseline.reports[0].outcome.metrics, &baseline.reports[1].outcome.metrics);
+        for threads in [2usize, 4] {
+            let parallel = BatchJoinRunner::new(config.clone(), threads).run(&repository);
+            for (serial, threaded) in baseline.reports.iter().zip(&parallel.reports) {
+                prop_assert_eq!(
+                    &serial.outcome.predicted_pairs, &threaded.outcome.predicted_pairs,
+                    "batch diverged at {} threads", threads
+                );
+                prop_assert_eq!(&serial.outcome.metrics, &threaded.outcome.metrics);
+            }
+        }
+    }
+}

@@ -40,10 +40,11 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use tjoin_datasets::{row_id, ColumnPair};
+use tjoin_datasets::{row_id, ArenaPair, ColumnPair};
 use tjoin_text::{
-    chunk_map_budgeted, normalize_for_matching, BudgetExceeded, BudgetToken, ColumnStats,
-    CorpusFailure, FxHashSet, GramCorpus, NGramIndex, NormalizeOptions,
+    chunk_map_rows_budgeted, normalize_for_matching, ArenaError, BudgetExceeded, BudgetToken,
+    CellText, ColumnArena, ColumnStats, CorpusFailure, FxHashSet, GramCorpus, NGramIndex,
+    NormalizeOptions,
 };
 
 /// Why a fallible matcher call ([`NGramMatcher::try_find_candidates`])
@@ -226,26 +227,13 @@ impl NGramMatcher {
         check(budget)?;
         let (n_min, n_max) = (self.config.n_min, self.config.n_max);
         if let Some(corpus) = corpus {
-            assert_eq!(
-                corpus.options(),
-                &self.config.normalize,
-                "corpus normalization differs from the matcher configuration"
-            );
-            let source = corpus.try_column(&pair.source)?;
-            check(budget)?;
-            let target = corpus.try_column(&pair.target)?;
-            check(budget)?;
-            let source_stats = source.try_stats(n_min, n_max)?;
-            let target_stats = target.try_stats(n_min, n_max)?;
-            check(budget)?;
-            let target_index = target.try_index(n_min, n_max)?;
-            check(budget)?;
-            self.scan_columns(source.normalized(), &source_stats, &target_stats, &target_index, budget)
-                .map_err(MatchAbort::from)
+            self.corpus_candidates(pair.source.as_slice(), pair.target.as_slice(), corpus, budget)
         } else {
             // Shared read-only scan state, built once for all workers:
             // column statistics for IRF on both sides and the inverted
-            // index on the target column for the containment lookup.
+            // index on the target column for the containment lookup. This
+            // Vec<String> path is the retained reference representation the
+            // arena differential suites compare against.
             let source: Vec<String> = pair
                 .source
                 .iter()
@@ -263,18 +251,111 @@ impl NGramMatcher {
             check(budget)?;
             let target_index = NGramIndex::build(&target, n_min, n_max);
             check(budget)?;
+            self.scan_columns(source.as_slice(), &source_stats, &target_stats, &target_index, budget)
+                .map_err(MatchAbort::from)
+        }
+    }
+
+    /// [`Self::try_find_candidates`] over an arena-backed pair: columns are
+    /// already in columnar storage, so the corpus interns them without a
+    /// `Vec<String>` detour and the per-call path normalizes straight into
+    /// a fresh arena. Output is bit-identical to the `Vec<String>` path on
+    /// the same cell contents at any thread count (the pair even interns to
+    /// the same corpus entries, since the content fingerprint is storage-
+    /// agnostic).
+    pub fn try_find_candidates_arena(
+        &self,
+        pair: &ArenaPair,
+        corpus: Option<&GramCorpus>,
+        budget: Option<&BudgetToken>,
+    ) -> Result<Vec<RowMatch>, MatchAbort> {
+        let check = |budget: Option<&BudgetToken>| -> Result<(), MatchAbort> {
+            match budget {
+                Some(token) => token.check().map_err(MatchAbort::from),
+                None => Ok(()),
+            }
+        };
+        check(budget)?;
+        let (n_min, n_max) = (self.config.n_min, self.config.n_max);
+        if let Some(corpus) = corpus {
+            self.corpus_candidates(&pair.source, &pair.target, corpus, budget)
+        } else {
+            let arena_abort = |e: ArenaError| {
+                MatchAbort::Corpus(CorpusFailure { artifact: "column", message: e.to_string() })
+            };
+            let source = ColumnArena::try_normalized(&pair.source, &self.config.normalize)
+                .map_err(arena_abort)?;
+            check(budget)?;
+            let target = ColumnArena::try_normalized(&pair.target, &self.config.normalize)
+                .map_err(arena_abort)?;
+            check(budget)?;
+            let source_stats = ColumnStats::build_on(&source, n_min, n_max);
+            let target_stats = ColumnStats::build_on(&target, n_min, n_max);
+            check(budget)?;
+            let target_index = NGramIndex::try_build_on(&target, n_min, n_max)
+                .map_err(|e| MatchAbort::Corpus(CorpusFailure { artifact: "index", message: e.to_string() }))?;
+            check(budget)?;
             self.scan_columns(&source, &source_stats, &target_stats, &target_index, budget)
                 .map_err(MatchAbort::from)
         }
     }
 
-    /// The planned parallel scan over already-normalized columns and
-    /// prebuilt gram artifacts — the shared core of [`Self::find_candidates`]
-    /// (per-call artifacts) and [`Self::find_candidates_in`] (corpus-served
-    /// artifacts).
-    fn scan_columns(
+    /// Infallible [`Self::try_find_candidates_arena`] without a corpus or
+    /// budget (the arena counterpart of [`Self::find_candidates`]).
+    pub fn find_candidates_arena(&self, pair: &ArenaPair) -> Vec<RowMatch> {
+        self.try_find_candidates_arena(pair, None, None)
+            .unwrap_or_else(|abort| panic!("{abort}"))
+    }
+
+    /// The shared corpus-served scan: interns both raw columns (whatever
+    /// their storage), pulls the cached stats/index artifacts, and scans
+    /// the source column's normalized arena. Used by both the
+    /// `Vec<String>`-backed and arena-backed entry points — interning is by
+    /// cell content, so the two representations share entries.
+    fn corpus_candidates<S, T>(
         &self,
-        source: &[String],
+        source_raw: &S,
+        target_raw: &T,
+        corpus: &GramCorpus,
+        budget: Option<&BudgetToken>,
+    ) -> Result<Vec<RowMatch>, MatchAbort>
+    where
+        S: CellText + ?Sized,
+        T: CellText + ?Sized,
+    {
+        assert_eq!(
+            corpus.options(),
+            &self.config.normalize,
+            "corpus normalization differs from the matcher configuration"
+        );
+        let check = |budget: Option<&BudgetToken>| -> Result<(), MatchAbort> {
+            match budget {
+                Some(token) => token.check().map_err(MatchAbort::from),
+                None => Ok(()),
+            }
+        };
+        let (n_min, n_max) = (self.config.n_min, self.config.n_max);
+        let source = corpus.try_column_on(source_raw)?;
+        check(budget)?;
+        let target = corpus.try_column_on(target_raw)?;
+        check(budget)?;
+        let source_stats = source.try_stats(n_min, n_max)?;
+        let target_stats = target.try_stats(n_min, n_max)?;
+        check(budget)?;
+        let target_index = target.try_index(n_min, n_max)?;
+        check(budget)?;
+        self.scan_columns(source.normalized(), &source_stats, &target_stats, &target_index, budget)
+            .map_err(MatchAbort::from)
+    }
+
+    /// The planned parallel scan over an already-normalized source column
+    /// (any [`CellText`] storage — the corpus's arena or a per-call
+    /// `Vec<String>`) and prebuilt gram artifacts — the shared core of
+    /// every matcher entry point. Workers borrow cell slices out of the
+    /// shared column; nothing is cloned into the scan.
+    fn scan_columns<C: CellText + ?Sized>(
+        &self,
+        source: &C,
         source_stats: &ColumnStats,
         target_stats: &ColumnStats,
         target_index: &NGramIndex,
@@ -284,9 +365,10 @@ impl NGramMatcher {
         // order — the per-row sequence is the serial scan's at any budget.
         // The budget (deadline only; caps are charged at admission) is
         // checked before every row, aborting the whole scan on a trip.
-        let per_row: Vec<RowHits> = chunk_map_budgeted(source, self.config.threads, budget, |row| {
-            self.scan_row(row, source_stats, target_stats, target_index)
-        })?;
+        let per_row: Vec<RowHits> =
+            chunk_map_rows_budgeted(source.cell_count(), self.config.threads, budget, |row| {
+                self.scan_row(source.cell(row), source_stats, target_stats, target_index)
+            })?;
 
         // Assembly in the oracle's size-major order. Each row's hits are
         // sorted by size, so one cursor per row makes this linear in the
@@ -701,6 +783,62 @@ mod tests {
         assert_eq!(stats.stats_hits, 2);
         assert_eq!(stats.indexes_built, 3);
         assert_eq!(stats.index_hits, 0);
+    }
+
+    #[test]
+    fn arena_pair_bit_identical_to_vec_pair() {
+        // The arena-backed entry points (per-call and corpus-served) must
+        // reproduce the Vec<String> path exactly — same pairs, same order —
+        // at every thread count.
+        let pair = staff_pair();
+        let arena = pair.to_arena().unwrap();
+        let config = NGramMatcherConfig::default();
+        let oracle = find_candidates_reference(&config, &pair);
+        let corpus = GramCorpus::new(config.normalize);
+        for threads in [1usize, 2, 4] {
+            let matcher = NGramMatcher::new(config.clone().with_threads(threads));
+            assert_eq!(
+                matcher.find_candidates_arena(&arena),
+                oracle,
+                "per-call arena path diverged at {threads} threads"
+            );
+            assert_eq!(
+                matcher.try_find_candidates_arena(&arena, Some(&corpus), None).unwrap(),
+                oracle,
+                "corpus arena path diverged at {threads} threads"
+            );
+        }
+        // Arena and Vec columns share corpus entries (content interning).
+        let matcher = NGramMatcher::new(config.clone());
+        assert_eq!(matcher.find_candidates_in(&pair, &corpus), oracle);
+        assert_eq!(corpus.stats().columns_interned, 2);
+    }
+
+    #[test]
+    fn stats_built_once_per_interned_column_across_repeated_scans() {
+        // Satellite regression (PR 4 caveat): repeated batch scans through
+        // a corpus must NOT rebuild stats strings per call. The corpus
+        // counters prove each interned column derives its ColumnStats
+        // exactly once, with every later scan served from cache.
+        let pair = staff_pair();
+        let config = NGramMatcherConfig::default();
+        let matcher = NGramMatcher::new(config.clone());
+        let corpus = GramCorpus::new(config.normalize);
+        let first = matcher.find_candidates_in(&pair, &corpus);
+        for round in 0..5 {
+            assert_eq!(matcher.find_candidates_in(&pair, &corpus), first, "round {round}");
+        }
+        let stats = corpus.stats();
+        // 2 distinct columns → exactly 2 stats builds and 1 target index
+        // build, no matter how many scans ran.
+        assert_eq!(stats.columns_interned, 2);
+        assert_eq!(stats.stats_built, 2);
+        assert_eq!(stats.indexes_built, 1);
+        // 6 scans × (2 stats + 1 index) requests = 12 stats lookups and 6
+        // index lookups; all but the first builds were cache hits.
+        assert_eq!(stats.stats_hits, 10);
+        assert_eq!(stats.index_hits, 5);
+        assert_eq!(stats.column_hits, 10);
     }
 
     #[test]

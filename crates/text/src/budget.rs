@@ -238,6 +238,8 @@ mod tests {
                     })
                 })
                 .collect();
+            // Test-only join: a panic here is the test failing, not a
+            // user-data path.
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         // Whatever raced first, every thread saw the one recorded cause.

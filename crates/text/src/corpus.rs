@@ -44,11 +44,12 @@
 //! per-call path, which `crates/join/tests/proptest_batch.rs` enforces
 //! differentially.
 
+use crate::arena::{ArenaError, CellText, ColumnArena};
 use crate::fault::{self, FaultSite};
 use crate::fingerprint::{fingerprint64, fingerprint64_chain};
 use crate::fxhash::FxHashMap;
 use crate::index::NGramIndex;
-use crate::normalize::{normalize_for_matching, NormalizeOptions};
+use crate::normalize::NormalizeOptions;
 use crate::scoring::ColumnStats;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -58,8 +59,15 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// The content fingerprint a corpus keys a column by: a length-seeded chain
 /// of every cell's [`fingerprint64`].
 pub fn column_fingerprint(cells: &[String]) -> u64 {
-    cells.iter().fold(
-        0x9E37_79B9_7F4A_7C15 ^ cells.len() as u64,
+    column_fingerprint_on(cells)
+}
+
+/// [`column_fingerprint`] over any [`CellText`] column. The fingerprint is
+/// a pure function of the cell *contents*, so a `Vec<String>` column and a
+/// [`ColumnArena`] holding the same cells intern to the same corpus entry.
+pub fn column_fingerprint_on<C: CellText + ?Sized>(column: &C) -> u64 {
+    column.cells().fold(
+        0x9E37_79B9_7F4A_7C15 ^ column.cell_count() as u64,
         |acc, cell| fingerprint64_chain(acc, fingerprint64(cell)),
     )
 }
@@ -81,6 +89,13 @@ impl CorpusFailure {
         Self {
             artifact,
             message: fault::panic_message(&*payload),
+        }
+    }
+
+    fn from_arena(artifact: &'static str, error: ArenaError) -> Self {
+        Self {
+            artifact,
+            message: error.to_string(),
         }
     }
 }
@@ -140,13 +155,14 @@ impl CorpusStats {
 /// contained failure, keyed by `(n_min, n_max)`.
 type ArtifactCache<A> = FxHashMap<(usize, usize), Result<Arc<A>, CorpusFailure>>;
 
-/// One interned column: its normalized cells plus lazily built, cached gram
-/// artifacts per `(n_min, n_max)` size range. Obtained from
-/// [`GramCorpus::column`]; shared across pairs (and worker threads) via
-/// `Arc`.
+/// One interned column: its normalized cells — flattened into a
+/// [`ColumnArena`] at build time — plus lazily built, cached gram artifacts
+/// per `(n_min, n_max)` size range. Obtained from [`GramCorpus::column`];
+/// shared across pairs (and worker threads) via `Arc`, so every scan worker
+/// borrows `&str` slices out of the one arena instead of cloning cells.
 #[derive(Debug)]
 pub struct CorpusColumn {
-    normalized: Vec<String>,
+    normalized: ColumnArena,
     stats: Mutex<ArtifactCache<ColumnStats>>,
     indexes: Mutex<ArtifactCache<NGramIndex>>,
     stats_hits: AtomicUsize,
@@ -154,21 +170,21 @@ pub struct CorpusColumn {
 }
 
 impl CorpusColumn {
-    fn build(raw: &[String], options: &NormalizeOptions) -> Self {
-        Self {
-            normalized: raw
-                .iter()
-                .map(|v| normalize_for_matching(v, options))
-                .collect(),
+    fn build<C: CellText + ?Sized>(
+        raw: &C,
+        options: &NormalizeOptions,
+    ) -> Result<Self, ArenaError> {
+        Ok(Self {
+            normalized: ColumnArena::try_normalized(raw, options)?,
             stats: Mutex::new(FxHashMap::default()),
             indexes: Mutex::new(FxHashMap::default()),
             stats_hits: AtomicUsize::new(0),
             index_hits: AtomicUsize::new(0),
-        }
+        })
     }
 
-    /// The column's normalized cells, in row order.
-    pub fn normalized(&self) -> &[String] {
+    /// The column's normalized cells, in row order, as a shared arena.
+    pub fn normalized(&self) -> &ColumnArena {
         &self.normalized
     }
 
@@ -188,7 +204,7 @@ impl CorpusColumn {
         }
         let built = catch_unwind(AssertUnwindSafe(|| {
             fault::fire(FaultSite::CorpusStatsBuild);
-            Arc::new(ColumnStats::build(&self.normalized, n_min, n_max))
+            Arc::new(ColumnStats::build_on(&self.normalized, n_min, n_max))
         }))
         .map_err(|payload| CorpusFailure::new("stats", payload));
         cache.insert((n_min, n_max), built.clone());
@@ -216,9 +232,10 @@ impl CorpusColumn {
         }
         let built = catch_unwind(AssertUnwindSafe(|| {
             fault::fire(FaultSite::CorpusIndexBuild);
-            Arc::new(NGramIndex::build(&self.normalized, n_min, n_max))
+            NGramIndex::try_build_on(&self.normalized, n_min, n_max).map(Arc::new)
         }))
-        .map_err(|payload| CorpusFailure::new("index", payload));
+        .map_err(|payload| CorpusFailure::new("index", payload))
+        .and_then(|r| r.map_err(|e| CorpusFailure::from_arena("index", e)));
         cache.insert((n_min, n_max), built.clone());
         built
     }
@@ -283,20 +300,36 @@ impl GramCorpus {
     /// on its cell. A panicking build is contained and recorded as this
     /// fingerprint's sticky [`CorpusFailure`].
     pub fn try_column(&self, raw: &[String]) -> Result<Arc<CorpusColumn>, CorpusFailure> {
+        self.try_column_on(raw)
+    }
+
+    /// [`Self::try_column`] over any [`CellText`] column: a raw
+    /// [`ColumnArena`] from ingest and a `Vec<String>` column with the same
+    /// cells fingerprint identically and share one intern entry. A column
+    /// that exceeds the arena's `u32` capacity is recorded as this
+    /// fingerprint's sticky failure, like any other contained build error.
+    pub fn try_column_on<C: CellText + ?Sized>(
+        &self,
+        raw: &C,
+    ) -> Result<Arc<CorpusColumn>, CorpusFailure> {
         if fault::should_poison(FaultSite::CorpusColumnBuild) {
             fault::poison_mutex(&self.columns);
         }
-        let key = column_fingerprint(raw);
+        let key = column_fingerprint_on(raw);
         let cell = {
             let mut columns = fault::lock_recover(&self.columns);
             if let Some(cell) = columns.get(&key) {
                 #[cfg(debug_assertions)]
                 {
                     let shadow = fault::lock_recover(&self.shadow);
+                    // Invariant is local (audited): every insert into
+                    // `columns` writes the matching `shadow` entry inside
+                    // the same `columns`-lock critical section below, so a
+                    // key found in `columns` is always shadowed. Debug-only
+                    // code either way — never reachable in release builds.
                     let prev = shadow.get(&key).expect("shadowed column present");
-                    debug_assert_eq!(
-                        prev.as_slice(),
-                        raw,
+                    debug_assert!(
+                        prev.iter().map(String::as_str).eq(raw.cells()),
                         "column fingerprint collision: two distinct columns hash to {key:#x}"
                     );
                 }
@@ -305,7 +338,8 @@ impl GramCorpus {
                 let cell = Arc::new(ColumnCell::new());
                 columns.insert(key, Arc::clone(&cell));
                 #[cfg(debug_assertions)]
-                fault::lock_recover(&self.shadow).insert(key, raw.to_vec());
+                fault::lock_recover(&self.shadow)
+                    .insert(key, raw.cells().map(str::to_owned).collect());
                 cell
             }
         };
@@ -314,9 +348,10 @@ impl GramCorpus {
             built = true;
             catch_unwind(AssertUnwindSafe(|| {
                 fault::fire(FaultSite::CorpusColumnBuild);
-                Arc::new(CorpusColumn::build(raw, &self.options))
+                CorpusColumn::build(raw, &self.options).map(Arc::new)
             }))
             .map_err(|payload| CorpusFailure::new("column", payload))
+            .and_then(|r| r.map_err(|e| CorpusFailure::from_arena("column", e)))
         });
         if !built {
             // Served from cache (whether the cell pre-existed or another
@@ -428,6 +463,7 @@ mod tests {
 
     #[test]
     fn normalization_applied_once_and_matches_per_call() {
+        use crate::normalize::normalize_for_matching;
         let corpus = GramCorpus::new(NormalizeOptions::default());
         let raw = col(&["  Rafiei,   DAVOOD ", "M  Bowling"]);
         let entry = corpus.column(&raw);
@@ -435,8 +471,25 @@ mod tests {
             .iter()
             .map(|v| normalize_for_matching(v, &NormalizeOptions::default()))
             .collect();
-        assert_eq!(entry.normalized(), expected.as_slice());
-        assert_eq!(entry.normalized()[0], "rafiei, davood");
+        let normalized: Vec<&str> = entry.normalized().cells().collect();
+        assert_eq!(normalized, expected.iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(entry.normalized().cell(0), "rafiei, davood");
+    }
+
+    #[test]
+    fn arena_column_interns_to_same_entry_as_vec_column() {
+        // Interning is by cell *content*: the same column handed over as a
+        // Vec<String> and as a raw ColumnArena must hit one entry.
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let raw = col(&["Rafiei, Davood", "Bowling, Michael"]);
+        let arena = ColumnArena::from_cells(raw.as_slice());
+        assert_eq!(column_fingerprint(&raw), column_fingerprint_on(&arena));
+        let from_vec = corpus.column(&raw);
+        let from_arena = corpus.try_column_on(&arena).unwrap();
+        assert!(Arc::ptr_eq(&from_vec, &from_arena));
+        let stats = corpus.stats();
+        assert_eq!(stats.columns_interned, 1);
+        assert_eq!(stats.column_hits, 1);
     }
 
     #[test]
@@ -457,7 +510,7 @@ mod tests {
         assert_eq!(stats.indexes_built, 1);
         assert_eq!(stats.index_hits, 1);
         // The cached artifacts equal a direct per-call build.
-        let direct = ColumnStats::build(entry.normalized(), 2, 4);
+        let direct = ColumnStats::build_on(entry.normalized(), 2, 4);
         assert_eq!(s1.row_count, direct.row_count);
         assert_eq!(s1.distinct_ngrams(), direct.distinct_ngrams());
         assert_eq!(i1.rows_containing("abc"), &[0, 1]);

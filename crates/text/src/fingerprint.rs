@@ -41,6 +41,9 @@ pub fn fingerprint64(text: &str) -> u64 {
     let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (text.len() as u64);
     let mut chunks = text.as_bytes().chunks_exact(8);
     for chunk in &mut chunks {
+        // Invariant is local (audited): `chunks_exact(8)` yields only
+        // 8-byte slices by contract, so the array conversion cannot fail
+        // regardless of the input text.
         let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
         h = mix64(h ^ word);
     }

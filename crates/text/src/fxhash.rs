@@ -33,6 +33,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // Invariant is local (audited): `chunks_exact(8)` yields only
+            // 8-byte slices by contract, so the conversion cannot fail for
+            // any caller-supplied bytes.
             let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
             self.add_to_hash(word);
         }

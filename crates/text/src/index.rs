@@ -12,9 +12,10 @@
 //! fingerprints never collide on the indexed corpus (at 64 bits, a corpus
 //! would need billions of distinct grams before collisions become likely).
 
+use crate::arena::{checked_row_count, ArenaError, CellText};
 use crate::fingerprint::fingerprint64;
 use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::ngram::char_ngrams;
+use crate::ngram::for_each_ngram_in_sizes;
 use serde::{Deserialize, Serialize};
 
 /// An inverted index from character n-grams (sizes `n_min..=n_max`) to the
@@ -32,27 +33,40 @@ impl NGramIndex {
     ///
     /// Each row id appears at most once in a posting list even when the
     /// n-gram occurs several times in that row, and posting lists are sorted.
-    pub fn build<S: AsRef<str>>(rows: &[S], n_min: usize, n_max: usize) -> Self {
+    ///
+    /// Panics when the column exceeds the `u32` row-id space; use
+    /// [`Self::try_build_on`] for the typed-error form.
+    pub fn build<S: AsRef<str> + Sync>(rows: &[S], n_min: usize, n_max: usize) -> Self {
+        match Self::try_build_on(rows, n_min, n_max) {
+            Ok(index) => index,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::build`] over any [`CellText`] column (the arena-backed hot
+    /// path), rejecting columns whose row count cannot be addressed by `u32`
+    /// row ids with a typed [`ArenaError`] instead of silently wrapping the
+    /// id cast.
+    pub fn try_build_on<C: CellText + ?Sized>(
+        column: &C,
+        n_min: usize,
+        n_max: usize,
+    ) -> Result<Self, ArenaError> {
         assert!(n_min >= 1, "n_min must be at least 1");
         assert!(n_min <= n_max, "n_min must not exceed n_max");
+        // Guard the whole id space up front: after this check, every row
+        // index below `rows_u32` fits losslessly in the posting entries.
+        let rows_u32 = checked_row_count(column.cell_count())?;
         let mut postings: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         // Debug-build shadow map fingerprint → first gram text seen, used to
         // assert fingerprints are collision-free on the indexed corpus.
         #[cfg(debug_assertions)]
         let mut shadow: FxHashMap<u64, String> = FxHashMap::default();
-        for (row_id, row) in rows.iter().enumerate() {
-            let row = row.as_ref();
-            let mut seen: FxHashSet<&str> = FxHashSet::default();
-            for n in n_min..=n_max {
-                let grams = char_ngrams(row, n);
-                if grams.is_empty() {
-                    break;
-                }
-                for g in grams {
-                    seen.insert(g);
-                }
-            }
-            for g in seen {
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for row_id in 0..rows_u32 {
+            let row = column.cell(row_id as usize);
+            seen.clear();
+            for_each_ngram_in_sizes(row, n_min, n_max, &mut |g| {
                 let key = fingerprint64(g);
                 #[cfg(debug_assertions)]
                 {
@@ -62,19 +76,24 @@ impl NGramIndex {
                         "gram fingerprint collision: {prev:?} vs {g:?} both hash to {key:#x}"
                     );
                 }
-                postings.entry(key).or_default().push(row_id as u32);
-            }
+                if seen.insert(key) {
+                    postings.entry(key).or_default().push(row_id);
+                }
+            });
         }
+        // Rows are visited in ascending order and each contributes a given
+        // key at most once, so the lists are already sorted and unique; the
+        // pass below is a cheap invariant backstop.
         for list in postings.values_mut() {
             list.sort_unstable();
             list.dedup();
         }
-        Self {
+        Ok(Self {
             n_min,
             n_max,
-            rows: rows.len(),
+            rows: rows_u32 as usize,
             postings,
-        }
+        })
     }
 
     /// The n-gram size range `(n_min, n_max)` the index covers.
@@ -193,6 +212,43 @@ mod tests {
     #[should_panic(expected = "n_min must not exceed n_max")]
     fn inverted_range_panics() {
         let _ = NGramIndex::build(&["ab"], 3, 2);
+    }
+
+    #[test]
+    fn over_large_column_rejected_with_typed_error_not_wrapped() {
+        // Regression: posting construction used `row_id as u32`, which on a
+        // >u32::MAX-row column would wrap and corrupt postings. The mock
+        // column claims more rows than the id space; the constructor must
+        // reject it before reading a single cell.
+        struct Huge;
+        impl CellText for Huge {
+            fn cell_count(&self) -> usize {
+                u32::MAX as usize + 2
+            }
+            fn cell(&self, _row: usize) -> &str {
+                unreachable!("over-large column must be rejected before any cell read")
+            }
+        }
+        match NGramIndex::try_build_on(&Huge, 2, 4) {
+            Err(ArenaError::RowCountOverflow { rows }) => {
+                assert_eq!(rows, u32::MAX as usize + 2);
+            }
+            other => panic!("expected RowCountOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arena_build_matches_slice_build() {
+        use crate::arena::ColumnArena;
+        let rows = vec!["drafiei@ualberta.ca".to_string(), "mario@ualberta.ca".to_string()];
+        let arena = ColumnArena::from_cells(rows.as_slice());
+        let from_slice = NGramIndex::build(&rows, 3, 6);
+        let from_arena = NGramIndex::try_build_on(&arena, 3, 6).unwrap();
+        assert_eq!(from_slice.row_count(), from_arena.row_count());
+        assert_eq!(from_slice.distinct_ngrams(), from_arena.distinct_ngrams());
+        for g in ["raf", "ualber", "mario", "@ua"] {
+            assert_eq!(from_slice.rows_containing(g), from_arena.rows_containing(g), "gram {g:?}");
+        }
     }
 
     #[test]

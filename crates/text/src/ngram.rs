@@ -49,6 +49,37 @@ pub fn char_ngrams_in_range(text: &str, n_min: usize, n_max: usize) -> Vec<(usiz
     out
 }
 
+/// Calls `f` with every n-gram of `text` for sizes `n_min..=n_max`, size-
+/// major and in occurrence order within each size — the same stream
+/// [`char_ngrams`] yields per size, but with the char-boundary pass done
+/// once for all sizes and zero intermediate `Vec`s. This is the hot-loop
+/// form used by arena-backed [`crate::ColumnStats`] / fingerprint builds.
+///
+/// Matches `char_ngrams` edge behaviour: `n_min == 0` yields nothing (the
+/// per-size loop in the reference breaks on the first empty size), and
+/// sizes beyond the char count are skipped.
+pub fn for_each_ngram_in_sizes<'t>(
+    text: &'t str,
+    n_min: usize,
+    n_max: usize,
+    f: &mut impl FnMut(&'t str),
+) {
+    if n_min == 0 {
+        return;
+    }
+    let boundaries: Vec<usize> = text
+        .char_indices()
+        .map(|(b, _)| b)
+        .chain(std::iter::once(text.len()))
+        .collect();
+    let chars = boundaries.len() - 1;
+    for n in n_min..=n_max.min(chars) {
+        for i in 0..=chars - n {
+            f(&text[boundaries[i]..boundaries[i + n]]);
+        }
+    }
+}
+
 /// The set of *distinct* n-grams of length `n`.
 pub fn distinct_char_ngrams(text: &str, n: usize) -> FxHashSet<&str> {
     char_ngrams(text, n).into_iter().collect()
@@ -112,6 +143,25 @@ mod tests {
         assert_eq!(grams, vec![(2, "ab"), (2, "bc"), (3, "abc")]);
         // n_min larger than the string yields nothing.
         assert!(char_ngrams_in_range("ab", 3, 5).is_empty());
+    }
+
+    #[test]
+    fn fused_stream_matches_per_size_reference() {
+        for text in ["", "a", "héllo", "abcdef", "αβγδ"] {
+            for (n_min, n_max) in [(0, 3), (1, 1), (1, 4), (2, 10), (4, 2)] {
+                let mut fused = Vec::new();
+                for_each_ngram_in_sizes(text, n_min, n_max, &mut |g| fused.push(g));
+                let mut reference = Vec::new();
+                for n in n_min..=n_max {
+                    if n == 0 {
+                        reference.clear();
+                        break;
+                    }
+                    reference.extend(char_ngrams(text, n));
+                }
+                assert_eq!(fused, reference, "text {text:?} range {n_min}..={n_max}");
+            }
+        }
     }
 
     #[test]

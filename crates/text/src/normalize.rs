@@ -76,6 +76,83 @@ pub fn normalize_for_matching(text: &str, options: &NormalizeOptions) -> String 
     s
 }
 
+/// Streams the normalization of `text` into `out` without allocating a
+/// scratch `String`, producing exactly the bytes
+/// [`normalize_for_matching`] would return. This is the arena ingest path:
+/// [`crate::ColumnArena::try_push_normalized`] appends cells through it so
+/// a whole column normalizes with zero per-cell allocations.
+///
+/// `normalize_for_matching` stays the allocation-per-call reference the
+/// differential suites compare against; the equivalence argument for the
+/// fused single pass:
+///
+/// * trim-then-lowercase == lowercase-then-trim, because `to_lowercase`
+///   maps whitespace chars to themselves and non-whitespace chars to
+///   non-whitespace expansions, so the trimmed span is unaffected.
+/// * collapsing interleaved with per-char lowercasing == collapsing after
+///   whole-string lowercasing, for the same reason (whitespace-ness of
+///   each position is preserved).
+/// * the one *context-sensitive* mapping in `str::to_lowercase` — Greek
+///   capital sigma 'Σ' lowers to final 'ς' at a word end, 'σ' elsewhere —
+///   cannot be reproduced char-by-char, so inputs containing 'Σ' take a
+///   fallback that delegates to the reference implementation.
+pub fn normalize_append(text: &str, options: &NormalizeOptions, out: &mut String) {
+    // ASCII fast path (the common case for tabular cells): lowercase is a
+    // per-byte mapping, whitespace-ness is a byte test, and 'Σ' cannot
+    // occur — so one branchy byte loop replaces the char-decoding stream.
+    if text.is_ascii() {
+        let text = if options.trim { text.trim() } else { text };
+        let mut in_ws = false;
+        for &b in text.as_bytes() {
+            // char::is_whitespace restricted to ASCII: space plus
+            // \t \n \x0B \x0C \r.
+            let is_ws = b == b' ' || (0x09..=0x0D).contains(&b);
+            if is_ws && options.collapse_whitespace {
+                if !in_ws {
+                    out.push(' ');
+                }
+            } else if !is_ws && options.lowercase {
+                out.push(b.to_ascii_lowercase() as char);
+            } else {
+                out.push(b as char);
+            }
+            in_ws = is_ws;
+        }
+        return;
+    }
+    // 'Σ' (U+03A3) is the only char whose str-level lowercase depends on
+    // context; fall back to the reference for it.
+    if options.lowercase && text.contains('\u{03A3}') {
+        out.push_str(&normalize_for_matching(text, options));
+        return;
+    }
+    let text = if options.trim { text.trim() } else { text };
+    if options.collapse_whitespace {
+        let mut in_ws = false;
+        for c in text.chars() {
+            if c.is_whitespace() {
+                if !in_ws {
+                    out.push(' ');
+                }
+                in_ws = true;
+            } else {
+                if options.lowercase {
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+                in_ws = false;
+            }
+        }
+    } else if options.lowercase {
+        for c in text.chars() {
+            out.extend(c.to_lowercase());
+        }
+    } else {
+        out.push_str(text);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +183,41 @@ mod tests {
         let mut opts = NormalizeOptions::none();
         opts.collapse_whitespace = true;
         assert_eq!(normalize_for_matching("A   B", &opts), "A B");
+    }
+
+    fn append_of(text: &str, options: &NormalizeOptions) -> String {
+        let mut out = String::from("prefix|");
+        normalize_append(text, options, &mut out);
+        assert!(out.starts_with("prefix|"), "append must not disturb existing bytes");
+        out.split_off("prefix|".len())
+    }
+
+    #[test]
+    fn append_matches_reference_for_all_flag_combinations() {
+        let inputs = [
+            "",
+            "  ",
+            "ABC",
+            "  Prus-Czarnecki,   Andrzej ",
+            "a\t\n b\u{00A0}c", // NBSP is whitespace per char::is_whitespace
+            "İstanbul ẞtraße", // multi-char lowercase expansions (İ -> i̇)
+            "ΟΔΥΣΣΕΥΣ",       // final-sigma context case
+            "ΣΣ Σ tailΣ",
+            "  mixed Σ  CASE  ",
+        ];
+        for lowercase in [false, true] {
+            for trim in [false, true] {
+                for collapse_whitespace in [false, true] {
+                    let opts = NormalizeOptions { lowercase, trim, collapse_whitespace };
+                    for input in inputs {
+                        assert_eq!(
+                            append_of(input, &opts),
+                            normalize_for_matching(input, &opts),
+                            "input {input:?} options {opts:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

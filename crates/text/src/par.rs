@@ -20,6 +20,50 @@
 
 use crate::budget::{BudgetExceeded, BudgetToken};
 
+/// Maps `f` over the row indices `0..rows` using up to `workers` scoped
+/// threads (one contiguous index range per worker), returning results in
+/// row order.
+///
+/// This is the core the slice-based [`chunk_map`] delegates to — indexing
+/// instead of slicing is what lets arena-backed columns (which have no
+/// item slice to chunk) share the exact same chunk geometry as the
+/// retained `Vec<String>` reference: `chunk_size = rows.div_ceil(workers)`
+/// either way, so per-worker boundaries are identical and the differential
+/// suites compare like with like.
+///
+/// A budget of 0 or 1 — or fewer than two rows — runs serially with no
+/// thread overhead. Output is identical at any budget; only wall-clock
+/// changes. Panics in `f` propagate to the caller with their original
+/// payload (via [`std::panic::resume_unwind`]).
+pub fn chunk_map_rows<R, F>(rows: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.min(rows).max(1);
+    if workers <= 1 {
+        return (0..rows).map(f).collect();
+    }
+    let chunk_size = rows.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..rows)
+            .step_by(chunk_size)
+            .map(|start| {
+                let end = (start + chunk_size).min(rows);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
 /// Maps `f` over `items` using up to `workers` scoped threads (one
 /// contiguous chunk per worker), returning results in item order.
 ///
@@ -33,25 +77,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = workers.min(items.len()).max(1);
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk_size = items.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_size)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| {
-                h.join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-            })
-            .collect()
-    })
+    chunk_map_rows(items.len(), workers, |i| f(&items[i]))
 }
 
 /// [`chunk_map`] under a cooperative budget: every worker checks `budget`
@@ -74,35 +100,51 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    chunk_map_rows_budgeted(items.len(), workers, budget, |i| f(&items[i]))
+}
+
+/// [`chunk_map_rows`] under a cooperative budget — the index-range core of
+/// [`chunk_map_budgeted`], with the same all-or-nothing abort semantics.
+pub fn chunk_map_rows_budgeted<R, F>(
+    rows: usize,
+    workers: usize,
+    budget: Option<&BudgetToken>,
+    f: F,
+) -> Result<Vec<R>, BudgetExceeded>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let Some(budget) = budget else {
-        return Ok(chunk_map(items, workers, f));
+        return Ok(chunk_map_rows(rows, workers, f));
     };
-    let workers = workers.min(items.len()).max(1);
+    let workers = workers.min(rows).max(1);
     if workers <= 1 {
-        let mut out = Vec::with_capacity(items.len());
-        for item in items {
+        let mut out = Vec::with_capacity(rows);
+        for row in 0..rows {
             budget.check()?;
-            out.push(f(item));
+            out.push(f(row));
         }
         return Ok(out);
     }
-    let chunk_size = items.len().div_ceil(workers);
+    let chunk_size = rows.div_ceil(workers);
     let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_size)
-            .map(|chunk| {
+        let handles: Vec<_> = (0..rows)
+            .step_by(chunk_size)
+            .map(|start| {
+                let end = (start + chunk_size).min(rows);
                 scope.spawn(move || -> Result<Vec<R>, BudgetExceeded> {
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for item in chunk {
+                    let mut out = Vec::with_capacity(end - start);
+                    for row in start..end {
                         budget.check()?;
-                        out.push(f(item));
+                        out.push(f(row));
                     }
                     Ok(out)
                 })
             })
             .collect();
-        let mut results = Vec::with_capacity(items.len());
+        let mut results = Vec::with_capacity(rows);
         let mut aborted = None;
         for handle in handles {
             match handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)) {
@@ -174,6 +216,50 @@ mod tests {
                 "poisoned cell 3",
                 "payload lost at {workers} workers"
             );
+        }
+    }
+
+    #[test]
+    fn row_core_matches_slice_form_at_any_budget() {
+        let items: Vec<u32> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3).collect();
+        for workers in [0usize, 1, 2, 3, 4, 16, 200] {
+            assert_eq!(
+                chunk_map_rows(items.len(), workers, |i| u64::from(items[i]) * 3),
+                expected,
+                "rows form diverged at {workers} workers"
+            );
+            assert_eq!(
+                chunk_map_rows_budgeted(items.len(), workers, None, |i| u64::from(items[i]) * 3)
+                    .unwrap(),
+                expected,
+                "budgeted rows form diverged at {workers} workers"
+            );
+        }
+        assert!(chunk_map_rows(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn arena_cells_scan_identically_across_chunk_boundaries() {
+        // Multi-byte UTF-8 cells land on both sides of every worker-count
+        // chunk seam; the arena-backed parallel scan must reproduce the
+        // Vec<String> serial scan bit-for-bit.
+        use crate::arena::{CellText, ColumnArena};
+        let cells: Vec<String> = (0..37)
+            .map(|i| match i % 4 {
+                0 => format!("αβγδε-{i}"),
+                1 => format!("名前『{i}』"),
+                2 => String::new(),
+                _ => format!("plain-{i}"),
+            })
+            .collect();
+        let arena = ColumnArena::from_cells(cells.as_slice());
+        let expected: Vec<String> = cells.iter().map(|c| c.chars().rev().collect()).collect();
+        for workers in [1usize, 2, 4] {
+            let via_arena = chunk_map_rows(arena.cell_count(), workers, |row| {
+                arena.cell(row).chars().rev().collect::<String>()
+            });
+            assert_eq!(via_arena, expected, "diverged at {workers} workers");
         }
     }
 

@@ -10,50 +10,74 @@
 //! words, and shared domain suffixes (the paper's "@ualberta.ca" example) get
 //! low scores and are not used to pair rows.
 
-use crate::fxhash::FxHashMap;
-use crate::ngram::char_ngrams;
+use crate::arena::CellText;
+use crate::fingerprint::fingerprint64;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ngram::for_each_ngram_in_sizes;
 use serde::{Deserialize, Serialize};
 
 /// Per-column n-gram statistics: for each n-gram (of any size in the indexed
 /// range), the number of rows of the column that contain it at least once.
+///
+/// Frequencies are keyed by the gram's 64-bit [`fingerprint64`] instead of an
+/// owned `String`: a stats build allocates no gram text at all — grams stream
+/// out of the column (arena or `Vec<String>` alike) as borrowed slices and
+/// only their fingerprints are stored. A debug-build shadow map asserts the
+/// fingerprints never collide on the indexed corpus, the same guard the
+/// inverted index uses.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ColumnStats {
     /// Number of rows in the column.
     pub row_count: usize,
-    /// n-gram → number of rows containing it.
-    row_frequency: FxHashMap<String, u32>,
+    /// gram fingerprint → number of rows containing the gram.
+    row_frequency: FxHashMap<u64, u32>,
 }
 
 impl ColumnStats {
     /// Builds statistics for `rows`, counting every distinct n-gram with size
     /// in `[n_min, n_max]` once per row in which it occurs.
-    pub fn build<S: AsRef<str>>(rows: &[S], n_min: usize, n_max: usize) -> Self {
-        let mut row_frequency: FxHashMap<String, u32> = FxHashMap::default();
-        for row in rows {
-            let row = row.as_ref();
-            let mut seen: crate::fxhash::FxHashSet<&str> = crate::fxhash::FxHashSet::default();
-            for n in n_min..=n_max {
-                let grams = char_ngrams(row, n);
-                if grams.is_empty() {
-                    break;
+    pub fn build<S: AsRef<str> + Sync>(rows: &[S], n_min: usize, n_max: usize) -> Self {
+        Self::build_on(rows, n_min, n_max)
+    }
+
+    /// [`Self::build`] over any [`CellText`] column — the arena-backed hot
+    /// path; behaviour is identical for identical cell contents.
+    pub fn build_on<C: CellText + ?Sized>(column: &C, n_min: usize, n_max: usize) -> Self {
+        let mut row_frequency: FxHashMap<u64, u32> = FxHashMap::default();
+        // Debug-build fingerprint → first gram text, asserting no collisions.
+        #[cfg(debug_assertions)]
+        let mut shadow: FxHashMap<u64, String> = FxHashMap::default();
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for row in 0..column.cell_count() {
+            let row = column.cell(row);
+            seen.clear();
+            for_each_ngram_in_sizes(row, n_min, n_max, &mut |g| {
+                let key = fingerprint64(g);
+                #[cfg(debug_assertions)]
+                {
+                    let prev = shadow.entry(key).or_insert_with(|| g.to_owned());
+                    debug_assert_eq!(
+                        prev, g,
+                        "gram fingerprint collision: {prev:?} vs {g:?} both hash to {key:#x}"
+                    );
                 }
-                for g in grams {
-                    seen.insert(g);
+                if seen.insert(key) {
+                    *row_frequency.entry(key).or_insert(0) += 1;
                 }
-            }
-            for g in seen {
-                *row_frequency.entry(g.to_owned()).or_insert(0) += 1;
-            }
+            });
         }
         Self {
-            row_count: rows.len(),
+            row_count: column.cell_count(),
             row_frequency,
         }
     }
 
     /// Number of rows containing `gram` (0 when unseen).
     pub fn row_frequency(&self, gram: &str) -> u32 {
-        self.row_frequency.get(gram).copied().unwrap_or(0)
+        self.row_frequency
+            .get(&fingerprint64(gram))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of distinct n-grams indexed.
