@@ -1,0 +1,160 @@
+//! Serving-layer benchmark, tracking the resident-corpus claims in
+//! `BENCH_serve.json` at the workspace root:
+//!
+//! * **Cold vs warm**: a hot-skewed request stream served request-by-request
+//!   on fresh runners (every request re-normalizes and re-indexes its
+//!   columns) against the same stream through a [`JoinService`] whose
+//!   resident corpus already holds every column. Outcomes are asserted
+//!   bit-identical before timing; the warm wall-clock must be strictly
+//!   below the cold one — the whole point of residency.
+//! * **Eviction churn**: the same stream under a byte budget of half the
+//!   workload's footprint, forcing mid-stream eviction. Outcomes asserted
+//!   bit-identical to the cold oracle; the JSON records the hit rate and
+//!   eviction count (deterministic per workload seed), and the wall gate
+//!   is pathology-only — churn costs rebuilds, it must not cost results.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tjoin_bench::time_seconds;
+use tjoin_datasets::{RepositoryConfig, RequestWorkloadConfig};
+use tjoin_join::{BatchJoinOutcome, BatchJoinRunner, JoinPipelineConfig};
+use tjoin_serve::{JoinService, ServeConfig};
+
+const THREADS: usize = 4;
+
+/// Results-only outcome comparison (wall-clock fields, scheduling counters,
+/// and serve counters are measurements, not results).
+fn assert_outcomes_identical(a: &BatchJoinOutcome, b: &BatchJoinOutcome, context: &str) {
+    assert_eq!(a.reports.len(), b.reports.len(), "{context}: report count");
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.name, rb.name, "{context}: report order");
+        assert_eq!(ra.status, rb.status, "{context}: status of {}", ra.name);
+        assert_eq!(
+            ra.outcome.predicted_pairs, rb.outcome.predicted_pairs,
+            "{context}: predicted pairs of {}",
+            ra.name
+        );
+        assert_eq!(ra.outcome.metrics, rb.outcome.metrics, "{context}: metrics of {}", ra.name);
+    }
+    assert_eq!(a.metrics.micro, b.metrics.micro, "{context}: micro metrics");
+    assert_eq!(a.metrics.macro_f1, b.metrics.macro_f1, "{context}: macro F1");
+}
+
+fn serve_cache_comparison(_c: &mut Criterion) {
+    // Repository discovery is decoy-dominated — most candidate column
+    // pairs in a repository are not joinable, so per-request cost is
+    // normalize + stats + index over large columns, exactly what residency
+    // removes. One small joinable pair per repository keeps the identity
+    // assert exercising real predictions (synthesis cost is residency-
+    // independent; it runs identically on both legs).
+    let mut workload = RequestWorkloadConfig {
+        distinct: 3,
+        requests: 5,
+        repository: RepositoryConfig::new(5, 400).with_decoys(1.0),
+    }
+    .generate(17);
+    for (i, repository) in workload.repositories.iter_mut().enumerate() {
+        repository.extend(RepositoryConfig::new(1, 30).with_decoys(0.0).generate(1017 + i as u64));
+    }
+    let config = JoinPipelineConfig::paper_default();
+    let serve = |repositories: &JoinService| {
+        for &r in &workload.sequence {
+            repositories
+                .submit(workload.repositories[r].clone())
+                .expect("bench queue capacity is never reached");
+        }
+        repositories.drain()
+    };
+
+    // --- Identity: the cold oracle, then a priming + a fully warm pass. ---
+    let oracle: Vec<BatchJoinOutcome> = workload
+        .sequence
+        .iter()
+        .map(|&r| BatchJoinRunner::new(config.clone(), THREADS).run(&workload.repositories[r]))
+        .collect();
+    assert!(
+        oracle.iter().any(|outcome| outcome.metrics.joined_pairs > 0),
+        "the joinable pairs must produce predictions for the identity gate to bite"
+    );
+    let service = JoinService::new(config.clone(), THREADS, ServeConfig::default());
+    for (i, (_, outcome)) in serve(&service).iter().enumerate() {
+        assert_outcomes_identical(outcome, &oracle[i], &format!("priming request {i}"));
+    }
+    let primed = service.stats();
+    let footprint = primed.bytes_resident;
+    assert!(footprint > 0, "the workload must leave columns resident");
+    for (i, (_, outcome)) in serve(&service).iter().enumerate() {
+        assert_outcomes_identical(outcome, &oracle[i], &format!("warm request {i}"));
+    }
+    let warmed = service.stats();
+    let warm_hits = warmed.hits - primed.hits;
+    assert_eq!(warmed.misses, primed.misses, "a warm pass must not miss");
+    let distinct_per_request: usize = warm_hits / workload.sequence.len();
+
+    // --- Eviction churn: budget of half the footprint, identity intact. ---
+    let budget = footprint / 2;
+    let churned = JoinService::new(
+        config.clone(),
+        THREADS,
+        ServeConfig { byte_budget: Some(budget), ..ServeConfig::default() },
+    );
+    for (i, (_, outcome)) in serve(&churned).iter().enumerate() {
+        assert_outcomes_identical(outcome, &oracle[i], &format!("budgeted request {i}"));
+        let stats = outcome.serve.expect("service stamps serve stats");
+        assert!(stats.bytes_resident <= budget, "hard budget overshot");
+    }
+    let churn = churned.stats();
+    assert!(churn.evictions > 0, "half the footprint must force eviction");
+    let churn_hit_rate = churn.hits as f64 / (churn.hits + churn.misses) as f64;
+
+    // --- Timings. ---
+    let samples = 5;
+    let cold_secs = time_seconds(samples, || {
+        for &r in &workload.sequence {
+            black_box(
+                BatchJoinRunner::new(config.clone(), THREADS)
+                    .run(black_box(&workload.repositories[r])),
+            );
+        }
+    });
+    let warm_secs = time_seconds(samples, || {
+        black_box(serve(&service));
+    });
+    let churn_secs = time_seconds(samples, || {
+        black_box(serve(&churned));
+    });
+
+    let warm_speedup = cold_secs / warm_secs;
+    let churn_speedup = cold_secs / churn_secs;
+    let summary = format!(
+        "{{\n  \"benchmark\": \"serve_cache\",\n  \"threads\": {THREADS},\n  \"workload\": {{\n    \"distinct_repositories\": 3,\n    \"requests\": {},\n    \"decoy_pairs_per_repository\": 5,\n    \"decoy_rows_per_pair\": 400,\n    \"joinable_pairs_per_repository\": 1,\n    \"joinable_rows_per_pair\": 30,\n    \"distinct_columns_per_request\": {distinct_per_request},\n    \"resident_footprint_bytes\": {footprint}\n  }},\n  \"cold_vs_warm\": {{\n    \"samples\": {samples},\n    \"cold_median_seconds\": {cold_secs:.6},\n    \"warm_median_seconds\": {warm_secs:.6},\n    \"speedup_warm_vs_cold\": {warm_speedup:.2},\n    \"warm_hit_rate\": 1.0,\n    \"outcomes_bit_identical\": true\n  }},\n  \"eviction_churn\": {{\n    \"byte_budget\": {budget},\n    \"samples\": {samples},\n    \"budgeted_median_seconds\": {churn_secs:.6},\n    \"speedup_budgeted_vs_cold\": {churn_speedup:.2},\n    \"hit_rate\": {churn_hit_rate:.4},\n    \"evictions\": {},\n    \"budget_hard_at_release\": true,\n    \"outcomes_bit_identical\": true\n  }}\n}}\n",
+        workload.sequence.len(),
+        churn.evictions,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &summary).expect("write BENCH_serve.json");
+    println!(
+        "serve_cache: warm {warm_speedup:.2}x over cold ({cold_secs:.4}s -> {warm_secs:.4}s), \
+         budgeted {churn_speedup:.2}x with {} evictions (hit rate {churn_hit_rate:.2})",
+        churn.evictions
+    );
+    println!("summary written to {path}");
+    // The warm claim is the tentpole: serving from residency must beat
+    // rebuilding every corpus artifact per request, on any box.
+    assert!(
+        warm_secs < cold_secs,
+        "warm serving ({warm_secs:.4}s) must be strictly below cold ({cold_secs:.4}s)"
+    );
+    // The churn leg rebuilds evicted columns by design; its wall gate is
+    // pathology-only (order-of-magnitude collapse on a contended runner).
+    assert!(
+        churn_speedup > 0.3,
+        "budgeted serving collapsed to {churn_speedup:.2}x of the cold path"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = serve_cache_comparison
+}
+criterion_main!(benches);

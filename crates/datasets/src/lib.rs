@@ -16,6 +16,8 @@
 //! * [`repository`] — the repository-scale workload generator: N
 //!   heterogeneous column pairs (names / phones / dates / web formats, with
 //!   controllable noise and non-joinable decoys) for the batch join runner.
+//! * [`workload`] — request-stream sequences over repositories (hot-skewed
+//!   repeat requests) for the resident-corpus serving layer (`tjoin-serve`).
 //! * [`corpus`] — small embedded word lists (names, departments, streets)
 //!   used by the realistic generators.
 //! * [`io`] — minimal CSV/TSV reading and writing for the table types.
@@ -29,9 +31,11 @@ pub mod realistic;
 pub mod repository;
 pub mod synthetic;
 pub mod table;
+pub mod workload;
 
 pub use io::DatasetError;
 pub use repository::RepositoryConfig;
+pub use workload::{RequestWorkload, RequestWorkloadConfig};
 pub use synthetic::{SyntheticConfig, SyntheticDataset};
 pub use table::{row_id, ArenaPair, ColumnPair, Table, TablePair};
 

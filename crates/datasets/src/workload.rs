@@ -1,0 +1,147 @@
+//! Request-stream workload generator for the serving layer.
+//!
+//! The resident-corpus cache (`tjoin-serve`) is exercised by *request
+//! sequences*: the same repository submitted repeatedly, interleaved with
+//! other repositories, so that warm hits, cold misses, and byte-budget
+//! evictions all occur in one run. This module generates such sequences
+//! deterministically:
+//!
+//! * `distinct` repositories are generated from the embedded
+//!   [`RepositoryConfig`] under per-repository seeds, so their columns are
+//!   content-distinct (distinct fingerprints) while each repository's own
+//!   content is stable across requests;
+//! * the request `sequence` indexes into those repositories with a
+//!   hot-skewed distribution — repository 0 absorbs roughly half of all
+//!   requests, mirroring the head-heavy reuse real corpus caches see — so
+//!   a byte-budgeted cache keeps the hot repository resident while cold
+//!   tails churn.
+//!
+//! Generation is deterministic per seed (under the workspace's offline
+//! `rand` shim — a different stream than upstream `StdRng`, see the shim
+//! docs).
+
+use crate::repository::RepositoryConfig;
+use crate::table::ColumnPair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the request-stream generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestWorkloadConfig {
+    /// Number of distinct repositories to generate.
+    pub distinct: usize,
+    /// Number of requests in the sequence.
+    pub requests: usize,
+    /// Shape of each generated repository (pairs, rows, noise, decoys).
+    pub repository: RepositoryConfig,
+}
+
+impl Default for RequestWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            distinct: 3,
+            requests: 12,
+            repository: RepositoryConfig::new(4, 40),
+        }
+    }
+}
+
+/// A generated request stream: the distinct repositories plus the order in
+/// which they are requested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestWorkload {
+    /// The distinct repositories, indexable by the entries of `sequence`.
+    pub repositories: Vec<Vec<ColumnPair>>,
+    /// The request order: each entry indexes into `repositories`.
+    pub sequence: Vec<usize>,
+}
+
+impl RequestWorkloadConfig {
+    /// Convenience constructor for the common (distinct, requests) shape
+    /// with the default repository shape.
+    pub fn new(distinct: usize, requests: usize) -> Self {
+        Self {
+            distinct,
+            requests,
+            ..Self::default()
+        }
+    }
+
+    /// Generates the workload deterministically from `seed`.
+    ///
+    /// Repository `i` is generated from `seed + i`, so two workloads
+    /// sharing a seed share repository *content* regardless of how many
+    /// distinct repositories each requests. The sequence always opens with
+    /// request 0 → repository 0 (a guaranteed cold miss for the hot
+    /// repository); subsequent requests draw repository 0 with probability
+    /// ~1/2 and a uniform repository otherwise.
+    pub fn generate(&self, seed: u64) -> RequestWorkload {
+        assert!(self.distinct >= 1, "workload needs at least one repository");
+        let repositories: Vec<Vec<ColumnPair>> = (0..self.distinct)
+            .map(|i| self.repository.generate(seed + i as u64))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut sequence = Vec::with_capacity(self.requests);
+        for i in 0..self.requests {
+            if i == 0 || rng.gen_bool(0.5) {
+                sequence.push(0);
+            } else {
+                sequence.push(rng.gen_range(0..self.distinct));
+            }
+        }
+        RequestWorkload {
+            repositories,
+            sequence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = RequestWorkloadConfig::new(3, 20);
+        assert_eq!(config.generate(7), config.generate(7));
+        assert_ne!(config.generate(7).sequence, config.generate(8).sequence);
+    }
+
+    #[test]
+    fn repositories_are_content_distinct() {
+        let w = RequestWorkloadConfig::new(3, 4).generate(1);
+        assert_eq!(w.repositories.len(), 3);
+        assert_ne!(w.repositories[0], w.repositories[1]);
+        assert_ne!(w.repositories[1], w.repositories[2]);
+    }
+
+    #[test]
+    fn sequence_is_hot_skewed_and_in_range() {
+        let w = RequestWorkloadConfig::new(4, 200).generate(2);
+        assert_eq!(w.sequence.len(), 200);
+        assert_eq!(w.sequence[0], 0, "first request must cold-miss the hot repository");
+        assert!(w.sequence.iter().all(|&i| i < 4));
+        let hot = w.sequence.iter().filter(|&&i| i == 0).count();
+        // ~1/2 direct draws plus 1/4 of the uniform remainder ≈ 5/8.
+        assert!(hot > 80, "hot repository underrepresented: {hot}/200");
+        assert!(
+            (1..4).all(|r| w.sequence.contains(&r)),
+            "cold repositories never requested: {:?}",
+            w.sequence
+        );
+    }
+
+    #[test]
+    fn shared_seed_shares_repository_content() {
+        let small = RequestWorkloadConfig::new(2, 4).generate(5);
+        let large = RequestWorkloadConfig::new(4, 4).generate(5);
+        assert_eq!(small.repositories[0], large.repositories[0]);
+        assert_eq!(small.repositories[1], large.repositories[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repository")]
+    fn zero_distinct_rejected() {
+        let _ = RequestWorkloadConfig::new(0, 4).generate(0);
+    }
+}

@@ -19,13 +19,17 @@
 //! coverage, equi-join apply), so workers × inner never exceeds the budget.
 //! Under the n-gram strategy all workers share one [`GramCorpus`], so a
 //! column referenced by several pairs is normalized and indexed once per
-//! repository. The corpus lives for the whole run: peak memory is the
-//! repository's distinct-column text plus its gram artifacts, rather than
-//! the per-pair transient of the static path — the price of cross-pair
-//! reuse (refcounted eviction of fully-consumed columns is noted as
-//! headroom in ROADMAP.md). Scheduling counters (tasks per worker, steal
-//! count relative to the static split, corpus reuse) are reported in
-//! [`BatchSchedulerStats`].
+//! repository. By default the corpus lives for the whole run and is
+//! dropped at the end: peak memory is the repository's distinct-column
+//! text plus its gram artifacts, rather than the per-pair transient of the
+//! static path — the price of cross-pair reuse. A long-lived deployment
+//! attaches an external resident corpus instead
+//! ([`BatchJoinRunner::with_corpus`]): the `tjoin-serve` layer keeps one
+//! corpus across runs under a byte-budgeted eviction policy, so repeated
+//! requests over overlapping repositories skip re-normalization entirely —
+//! with results guaranteed bit-identical either way. Scheduling counters
+//! (tasks per worker, steal count relative to the static split, corpus
+//! reuse) are reported in [`BatchSchedulerStats`].
 //!
 //! # The retained static-split oracle
 //!
@@ -79,10 +83,12 @@ use crate::pipeline::{
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use tjoin_datasets::ColumnPair;
-use tjoin_text::{fault, CorpusStats, FaultKind, FaultPlan, FaultSite, GramCorpus, RunBudget};
+use tjoin_text::{
+    fault, CorpusStats, FaultKind, FaultPlan, FaultSite, GramCorpus, RunBudget, ServeStats,
+};
 
 /// One repository entry's result: the pair's name, its pipeline outcome,
 /// and the isolation status that produced it.
@@ -135,6 +141,19 @@ pub struct RepositoryMetrics {
     pub join_time: Duration,
 }
 
+/// Elapsed-at-failure attribution for one scheduler-level `catch_unwind`
+/// trip: a panic that escaped every guarded pipeline phase
+/// ([`PairPhase::Scheduler`]) carries no per-phase timing, so the backstop
+/// records how long the task had been running when it unwound — otherwise a
+/// scheduler-level failure is wall-clock-invisible in the batch report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerFailure {
+    /// Repository index of the pair whose task tripped the backstop.
+    pub pair: usize,
+    /// Wall-clock from task start to the backstop catching the unwind.
+    pub elapsed: Duration,
+}
+
 /// Scheduling counters of a batch run — wall-clock-side observability that
 /// never influences results (outcomes are identical whatever these say).
 #[derive(Debug, Clone, Default)]
@@ -154,8 +173,15 @@ pub struct BatchSchedulerStats {
     pub stolen_tasks: usize,
     /// Shared-corpus reuse counters (`None` for the static oracle path and
     /// under [`RowMatchingStrategy::Golden`], which match without text
-    /// artifacts).
+    /// artifacts). With an external resident corpus
+    /// ([`BatchJoinRunner::with_corpus`]) this snapshots that corpus *after
+    /// the run* — counters accumulate across runs.
     pub corpus: Option<CorpusStats>,
+    /// Scheduler-level `catch_unwind` trips ([`PairPhase::Scheduler`])
+    /// with their elapsed-at-failure, sorted by pair index. Empty on a
+    /// fault-free run and always empty for [`BatchJoinRunner::run_static`]
+    /// (the oracle path has no scheduler backstop of its own to attribute).
+    pub scheduler_failures: Vec<SchedulerFailure>,
 }
 
 /// The result of a batch run: per-pair reports in repository order plus the
@@ -170,6 +196,11 @@ pub struct BatchJoinOutcome {
     pub scheduler: BatchSchedulerStats,
     /// Per-status pair tallies (see [`BatchFaultStats`]).
     pub faults: BatchFaultStats,
+    /// Resident-cache counters when the run was served by the `tjoin-serve`
+    /// layer; `None` for a directly driven run (both drivers). The serving
+    /// layer fills this in at request release — the runner itself never
+    /// writes it, keeping results independent of how the run was admitted.
+    pub serve: Option<ServeStats>,
 }
 
 /// Drives the per-pair join pipeline across a repository of column pairs
@@ -179,6 +210,7 @@ pub struct BatchJoinRunner {
     config: JoinPipelineConfig,
     threads: usize,
     budget: Option<RunBudget>,
+    corpus: Option<Arc<GramCorpus>>,
 }
 
 impl BatchJoinRunner {
@@ -192,7 +224,24 @@ impl BatchJoinRunner {
             config,
             threads: threads.max(1),
             budget: None,
+            corpus: None,
         }
+    }
+
+    /// Uses `corpus` as the shared gram corpus of subsequent [`Self::run`]s
+    /// instead of building one per run — the `tjoin-serve` resident-cache
+    /// hookup: a corpus that outlives the run keeps its interned columns,
+    /// so repeated requests over overlapping repositories skip
+    /// re-normalization and re-indexing entirely. The corpus's
+    /// [`NormalizeOptions`](tjoin_text::NormalizeOptions) must match the
+    /// runner's n-gram matcher configuration (asserted at run time); it is
+    /// ignored under [`RowMatchingStrategy::Golden`]. Results are
+    /// bit-identical to a per-run corpus — every artifact is a pure
+    /// function of cells, options, and size range — only counters and
+    /// wall-clock differ.
+    pub fn with_corpus(mut self, corpus: Arc<GramCorpus>) -> Self {
+        self.corpus = Some(corpus);
+        self
     }
 
     /// Applies a per-pair [`RunBudget`] to every pair of subsequent runs
@@ -248,31 +297,54 @@ impl BatchJoinRunner {
                     ..BatchSchedulerStats::default()
                 },
                 faults: BatchFaultStats::default(),
+                serve: None,
             };
         }
         let (workers, inner_threads) = self.split(repository.len());
         let pipeline = JoinPipeline::new(self.config.clone().with_threads(inner_threads));
-        let corpus = match &self.config.matching {
-            RowMatchingStrategy::NGram(cfg) => Some(GramCorpus::new(cfg.normalize)),
+        // The gram corpus the run shares: the external resident handle when
+        // one was attached ([`Self::with_corpus`]), else a per-run corpus
+        // dropped at the end — the original one-shot behaviour.
+        let mut owned: Option<GramCorpus> = None;
+        let corpus: Option<&GramCorpus> = match &self.config.matching {
+            RowMatchingStrategy::NGram(cfg) => match &self.corpus {
+                Some(shared) => {
+                    assert_eq!(
+                        shared.options(),
+                        &cfg.normalize,
+                        "shared corpus must normalize like the runner's matcher config"
+                    );
+                    Some(shared.as_ref())
+                }
+                None => Some(owned.insert(GramCorpus::new(cfg.normalize))),
+            },
             RowMatchingStrategy::Golden => None,
         };
+        let scheduler_failures: Mutex<Vec<SchedulerFailure>> = Mutex::new(Vec::new());
         let run_pair = |task: usize, pair: &ColumnPair| -> PairJoinReport {
             // All guarded phases — including lazy shared-corpus builds,
             // which happen inside the matcher call — execute on this worker
             // thread, so the plan's thread-local (pair, site) scope covers
             // exactly this task's instrumented points.
             let exec = || -> GuardedJoinOutcome {
+                let started = Instant::now();
                 catch_unwind(AssertUnwindSafe(|| {
-                    pipeline.run_guarded(pair, corpus.as_ref(), self.budget.as_ref())
+                    fault::fire(FaultSite::SchedulerTask);
+                    pipeline.run_guarded(pair, corpus, self.budget.as_ref())
                 }))
-                .unwrap_or_else(|payload| GuardedJoinOutcome {
+                .unwrap_or_else(|payload| {
                     // Scheduler-level backstop: a panic outside the guarded
-                    // phases still fails only this pair.
-                    outcome: JoinPipeline::empty_outcome(pair),
-                    status: PairStatus::Failed(PairError {
-                        phase: PairPhase::Scheduler,
-                        message: fault::panic_message(&*payload),
-                    }),
+                    // phases still fails only this pair — and records its
+                    // elapsed-at-failure, since no phase timing exists.
+                    fault::lock_recover(&scheduler_failures)
+                        .push(SchedulerFailure { pair: task, elapsed: started.elapsed() });
+                    GuardedJoinOutcome {
+                        outcome: JoinPipeline::empty_outcome(pair),
+                        status: PairStatus::Failed(PairError {
+                            phase: PairPhase::Scheduler,
+                            message: fault::panic_message(&*payload),
+                        }),
+                    }
                 })
             };
             let guarded = match plan {
@@ -360,6 +432,10 @@ impl BatchJoinRunner {
         }
 
         let metrics = aggregate(&reports);
+        let mut scheduler_failures = scheduler_failures
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        scheduler_failures.sort_unstable_by_key(|failure| failure.pair);
         BatchJoinOutcome {
             faults: tally(&reports),
             metrics,
@@ -370,7 +446,9 @@ impl BatchJoinRunner {
                 tasks_per_worker,
                 stolen_tasks: stolen.into_inner(),
                 corpus: corpus.map(|c| c.stats()),
+                scheduler_failures,
             },
+            serve: None,
         }
     }
 
@@ -418,7 +496,9 @@ impl BatchJoinRunner {
                 },
                 stolen_tasks: 0,
                 corpus: None,
+                scheduler_failures: Vec::new(),
             },
+            serve: None,
         }
     }
 }
@@ -593,6 +673,35 @@ mod tests {
             assert_outcomes_identical(&batch, &oracle);
             assert!(oracle.scheduler.corpus.is_none());
         }
+    }
+
+    #[test]
+    fn external_corpus_shared_across_runs_is_bit_identical() {
+        let config = JoinPipelineConfig::paper_default();
+        let repository = small_repository();
+        let cold = BatchJoinRunner::new(config.clone(), 2).run(&repository);
+        let normalize = match &config.matching {
+            RowMatchingStrategy::NGram(cfg) => cfg.normalize,
+            RowMatchingStrategy::Golden => unreachable!("paper default matches by n-gram"),
+        };
+        let resident = Arc::new(GramCorpus::new(normalize));
+        let runner = BatchJoinRunner::new(config, 2).with_corpus(Arc::clone(&resident));
+        let first = runner.run(&repository);
+        assert_outcomes_identical(&first, &cold);
+        // The corpus outlived the run: 4 distinct columns stay resident.
+        assert_eq!(resident.stats().columns_interned, 4);
+        let cold_hits = cold.scheduler.corpus.expect("n-gram run has corpus stats").column_hits;
+        // The warm rerun re-interns nothing — every column reference hits.
+        let second = runner.run(&repository);
+        assert_outcomes_identical(&second, &cold);
+        let warm = resident.stats();
+        assert_eq!(warm.columns_interned, 4);
+        assert_eq!(warm.column_attempts, 4);
+        assert_eq!(warm.column_hits, cold_hits * 2 + 4);
+        // The run-level snapshot is the resident corpus's (accumulating).
+        assert_eq!(second.scheduler.corpus, Some(warm));
+        // Serve counters belong to the serving layer, not the runner.
+        assert!(cold.serve.is_none() && first.serve.is_none() && second.serve.is_none());
     }
 
     #[test]

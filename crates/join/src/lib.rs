@@ -94,7 +94,7 @@ pub mod reference;
 
 pub use batch::{
     BatchFaultStats, BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats, PairJoinReport,
-    RepositoryMetrics,
+    RepositoryMetrics, SchedulerFailure,
 };
 pub use evaluate::{evaluate_join, JoinMetrics};
 pub use pipeline::{

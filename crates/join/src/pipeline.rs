@@ -503,13 +503,18 @@ impl JoinPipeline {
 
         // Normalize each column exactly once, streaming into a columnar
         // arena: one contiguous buffer per column instead of one String per
-        // cell, and probes compare against slices of it. The u32 capacity
-        // check subsumes `assert_row_indexable`; exceeding it panics with
-        // the typed message (contained per-pair by `run_guarded`).
-        let targets_normalized = ColumnArena::try_normalized(pair.target.as_slice(), normalize)
-            .unwrap_or_else(|e| panic!("{e}"));
-        let sources_normalized = ColumnArena::try_normalized(pair.source.as_slice(), normalize)
-            .unwrap_or_else(|e| panic!("{e}"));
+        // cell, and probes compare against slices of it. Chunks normalize
+        // into per-worker arenas concatenated in chunk order, bit-identical
+        // to the serial append at any thread count. The u32 capacity check
+        // subsumes `assert_row_indexable`; exceeding it panics with the
+        // typed message (contained per-pair by `run_guarded`).
+        let threads = self.config.synthesis.threads;
+        let targets_normalized =
+            ColumnArena::try_normalized_parallel(pair.target.as_slice(), normalize, threads)
+                .unwrap_or_else(|e| panic!("{e}"));
+        let sources_normalized =
+            ColumnArena::try_normalized_parallel(pair.source.as_slice(), normalize, threads)
+                .unwrap_or_else(|e| panic!("{e}"));
 
         // Fingerprint index over the target column: rows bucketed by the
         // 64-bit fingerprint of their normalized value, in ascending row

@@ -29,7 +29,10 @@ use tjoin_join::{
 };
 use tjoin_text::{FaultKind, FaultPlan, FaultSite, RunBudget};
 
-/// Every injection site the harness knows.
+/// Every *pipeline-phase* injection site. `FaultSite::SchedulerTask` is
+/// deliberately excluded: it fires outside every guarded phase, so its
+/// failures attribute to `PairPhase::Scheduler` rather than the phase the
+/// assertions here expect — it gets its own targeted regression test below.
 const SITES: [FaultSite; 8] = [
     FaultSite::MatchPhase,
     FaultSite::CorpusColumnBuild,
@@ -292,6 +295,54 @@ fn sticky_shared_column_failure_fails_every_referencing_pair() {
     assert!(run.reports[2].status.is_ok());
     assert_eq!(run.faults.failed_pairs, 2);
     assert_eq!(run.faults.ok_pairs, 1);
+}
+
+/// A panic at the scheduler-task site — outside every guarded pipeline
+/// phase — is caught by the scheduler backstop: the pair fails with
+/// [`PairPhase::Scheduler`] *and* the backstop records elapsed-at-failure
+/// in `BatchSchedulerStats::scheduler_failures` (regression: these trips
+/// used to carry no timing at all).
+#[test]
+fn scheduler_task_panic_records_elapsed_at_failure() {
+    quiet_injected_panics();
+    let repository = build_repository(&[41, 42, 43], 4);
+    let config = JoinPipelineConfig::paper_default();
+    let oracle = BatchJoinRunner::new(config.clone(), 1).run_static(&repository);
+    let plan = FaultPlan::new().inject(1, FaultSite::SchedulerTask, FaultKind::Panic);
+    for threads in [1usize, 2, 4] {
+        let run =
+            BatchJoinRunner::new(config.clone(), threads).run_with_faults(&repository, &plan);
+        match &run.reports[1].status {
+            PairStatus::Failed(error) => {
+                assert_eq!(error.phase, PairPhase::Scheduler, "at {threads} threads");
+                assert!(
+                    error.message.contains("injected panic at SchedulerTask (pair 1)"),
+                    "message {:?}",
+                    error.message
+                );
+            }
+            other => panic!("expected Failed at {threads} threads, got {other:?}"),
+        }
+        // The backstop attributed wall-clock to the trip.
+        assert_eq!(run.scheduler.scheduler_failures.len(), 1, "at {threads} threads");
+        let failure = run.scheduler.scheduler_failures[0];
+        assert_eq!(failure.pair, 1);
+        assert!(failure.elapsed < Duration::from_secs(10));
+        assert_report_matches_oracle(&run, &oracle, 0);
+        assert_report_matches_oracle(&run, &oracle, 2);
+    }
+    // Several trips are reported sorted by pair index, whatever order the
+    // workers hit them in.
+    let plan = FaultPlan::new()
+        .inject(2, FaultSite::SchedulerTask, FaultKind::Panic)
+        .inject(0, FaultSite::SchedulerTask, FaultKind::Panic);
+    let run = BatchJoinRunner::new(config.clone(), 4).run_with_faults(&repository, &plan);
+    let failed: Vec<usize> =
+        run.scheduler.scheduler_failures.iter().map(|f| f.pair).collect();
+    assert_eq!(failed, vec![0, 2]);
+    // A fault-free run records none.
+    let clean = BatchJoinRunner::new(config, 2).run(&repository);
+    assert!(clean.scheduler.scheduler_failures.is_empty());
 }
 
 /// Panics injected at every site of one pair at once: the first phase to

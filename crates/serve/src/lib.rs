@@ -1,0 +1,717 @@
+//! # tjoin-serve
+//!
+//! A serving layer over the batch join runner: a **resident corpus cache**
+//! that keeps [`GramCorpus`] column artifacts (normalized arenas, gram
+//! statistics, n-gram indexes) alive *across* runs, plus request admission
+//! in front of the work-stealing scheduler. Repeated requests over
+//! overlapping repositories — the many-tenant regime the paper's
+//! repository-scale experiments imply — skip re-normalization and
+//! re-indexing entirely on warm columns.
+//!
+//! # Residency
+//!
+//! [`ResidentCorpus`] owns one `Arc<GramCorpus>` shared with every
+//! [`BatchJoinRunner`] hooked up via
+//! [`BatchJoinRunner::with_corpus`]. Columns are keyed by their content
+//! fingerprint ([`tjoin_text::column_fingerprint`]), so two requests
+//! containing the same cells — same repository resubmitted, or distinct
+//! repositories sharing a column — resolve to one resident entry. Because
+//! every corpus artifact is a pure function of (cells, normalize options,
+//! gram-size range), **residency can never change results**: a warm run is
+//! bit-identical to a cold one, and mid-stream eviction only changes
+//! counters and wall-clock. The differential suite
+//! (`tests/proptest_serve.rs`) proves this rather than assuming it.
+//!
+//! A request passes through three serialized phases:
+//!
+//! 1. **reserve** (at admission): the request's columns are
+//!    fingerprint-pre-scanned and *pinned* — per-reference counts of
+//!    queued interest, two references per pair (source + target);
+//! 2. **begin** (at dequeue): each distinct fingerprint is counted as a
+//!    *hit* (already resident) or *miss* (will be built by the run);
+//! 3. **release** (after the run): freshly built misses count as
+//!    *inserts*, every requested entry takes an LRU touch in
+//!    first-appearance order, the pins drop, and the cache evicts down to
+//!    its byte budget.
+//!
+//! # Eviction invariants
+//!
+//! The byte budget ([`ServeConfig::byte_budget`]) is **hard at release
+//! boundaries**: after every release, resident bytes are `<=` the budget —
+//! even when that means evicting the entry the run just used, or a budget
+//! smaller than any single column leaves the cache empty. *During* a run
+//! the corpus may transiently overshoot (results are sacrosanct; the
+//! budget is enforced at the serialized release points, not mid-build).
+//! Victims are chosen by the ascending order key
+//!
+//! ```text
+//! (pinned, ever_hit, last_touch, fingerprint)
+//! ```
+//!
+//! so eviction prefers, in order: columns **no queued request still
+//! references** (the refcount pre-scan — fully-consumed columns go first,
+//! eagerly), columns **never once served warm** (streamed through once and
+//! never reused), then **least-recently-used**, with the fingerprint as a
+//! deterministic tie-break. Pinned entries are evicted only as a last
+//! resort; a queued request whose pinned column was sacrificed simply
+//! rebuilds it — a counter change, never a result change.
+//!
+//! # Admission
+//!
+//! [`JoinService`] puts a bounded FIFO queue (the classic bounded-buffer
+//! backpressure shape) in front of the runner:
+//! [`JoinService::submit`] pins the request's columns and enqueues it, or
+//! rejects it with the typed [`AdmissionError::QueueFull`] when
+//! `queue_capacity` requests are already waiting — the caller sheds load
+//! explicitly instead of queueing without bound. [`JoinService::run_next`]
+//! dequeues in FIFO order, runs the request through the shared runner, and
+//! stamps the release-time [`ServeStats`] snapshot onto
+//! [`BatchJoinOutcome::serve`], next to the corpus's own
+//! [`CorpusStats`](tjoin_text::CorpusStats).
+//!
+//! # Determinism
+//!
+//! All cache bookkeeping (reserve / begin / release) happens under one
+//! mutex in request order, *outside* the parallel run. For a serial
+//! request stream the full counter sequence — hits, misses, inserts,
+//! evictions, resident bytes — is therefore identical at any runner thread
+//! budget and across reruns. Draining one service from several threads
+//! keeps results exact but interleaves begin/release, so counters then
+//! depend on the interleaving.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use tjoin_datasets::ColumnPair;
+use tjoin_join::{BatchJoinOutcome, BatchJoinRunner, JoinPipelineConfig, RowMatchingStrategy};
+use tjoin_text::{
+    column_fingerprint, CorpusRetryPolicy, GramCorpus, NormalizeOptions, ServeStats,
+};
+
+/// Recovers a lock whether or not a holder panicked (cache metadata stays
+/// consistent because every mutation completes before the guard drops).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration of the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Resident-corpus byte budget, enforced at every release; `None`
+    /// disables eviction (the corpus grows with the workload).
+    pub byte_budget: Option<usize>,
+    /// Maximum queued (admitted but not yet run) requests; submissions
+    /// beyond it are rejected with [`AdmissionError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Retry policy for the shared corpus's lazy artifact builds (see
+    /// [`CorpusRetryPolicy`]).
+    pub retry: CorpusRetryPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            byte_budget: None,
+            queue_capacity: 64,
+            retry: CorpusRetryPolicy::default(),
+        }
+    }
+}
+
+/// Typed admission rejection — the caller's signal to shed load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded request queue is at capacity.
+    QueueFull {
+        /// The configured [`ServeConfig::queue_capacity`].
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "request queue is full ({capacity} requests waiting)")
+            }
+        }
+    }
+}
+
+impl Error for AdmissionError {}
+
+/// Per-fingerprint cache metadata. An entry exists while the fingerprint
+/// is pinned by a queued request or resident in the corpus.
+#[derive(Debug, Default, Clone, Copy)]
+struct EntryMeta {
+    /// Outstanding queued references (each pair pins source + target).
+    pinned: usize,
+    /// Whether this entry was ever served warm from residency.
+    ever_hit: bool,
+    /// Logical clock of the last release-time touch (0 = never touched).
+    last_touch: u64,
+}
+
+/// Lifetime counters of one [`ResidentCorpus`].
+#[derive(Debug, Default, Clone, Copy)]
+struct Totals {
+    hits: usize,
+    misses: usize,
+    inserts: usize,
+    evictions: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    clock: u64,
+    entries: BTreeMap<u64, EntryMeta>,
+    totals: Totals,
+}
+
+/// A request's pinned interest in the cache, produced by
+/// [`ResidentCorpus::reserve`] and consumed by
+/// [`ResidentCorpus::release`]. Dropping a reservation without releasing
+/// it leaks its pins; the phased API expects reserve → begin → release.
+#[derive(Debug)]
+pub struct Reservation {
+    /// Distinct column fingerprints in first-appearance order.
+    fingerprints: Vec<u64>,
+    /// Pin counts per fingerprint (parallel to `fingerprints`).
+    references: Vec<usize>,
+    /// Per-fingerprint warmth recorded at [`ResidentCorpus::begin`]
+    /// (parallel to `fingerprints`; empty until begun).
+    warm: Vec<bool>,
+    begun: bool,
+}
+
+impl Reservation {
+    /// Number of distinct columns this request references.
+    pub fn distinct_columns(&self) -> usize {
+        self.fingerprints.len()
+    }
+}
+
+/// The resident corpus cache: one shared [`GramCorpus`] plus the
+/// byte-budgeted LRU metadata that decides what stays resident between
+/// runs (see the crate docs for the full invariants).
+#[derive(Debug)]
+pub struct ResidentCorpus {
+    corpus: Arc<GramCorpus>,
+    byte_budget: Option<usize>,
+    state: Mutex<CacheState>,
+}
+
+impl ResidentCorpus {
+    /// Creates a resident cache whose corpus normalizes with `options`
+    /// (must match the runner's matcher configuration — the runner asserts
+    /// this) and retries failed builds per `config.retry`.
+    /// `config.queue_capacity` only matters to [`JoinService`].
+    pub fn new(options: NormalizeOptions, config: ServeConfig) -> Self {
+        Self {
+            corpus: Arc::new(GramCorpus::with_retry(options, config.retry)),
+            byte_budget: config.byte_budget,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// The shared corpus handle, for [`BatchJoinRunner::with_corpus`].
+    pub fn shared(&self) -> Arc<GramCorpus> {
+        Arc::clone(&self.corpus)
+    }
+
+    /// The underlying corpus (e.g. for [`GramCorpus::stats`], reported
+    /// next to this cache's [`ServeStats`]).
+    pub fn corpus(&self) -> &GramCorpus {
+        &self.corpus
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
+    }
+
+    /// Phase 1 (admission): fingerprint-pre-scans `repository` and pins
+    /// every referenced column — two references per pair — so eviction
+    /// knows which entries queued work still needs.
+    pub fn reserve(&self, repository: &[ColumnPair]) -> Reservation {
+        let mut fingerprints = Vec::new();
+        let mut references = Vec::new();
+        for pair in repository {
+            for column in [&pair.source, &pair.target] {
+                let fingerprint = column_fingerprint(column);
+                match fingerprints.iter().position(|&f| f == fingerprint) {
+                    Some(i) => references[i] += 1,
+                    None => {
+                        fingerprints.push(fingerprint);
+                        references.push(1);
+                    }
+                }
+            }
+        }
+        let mut state = lock(&self.state);
+        for (&fingerprint, &count) in fingerprints.iter().zip(&references) {
+            state.entries.entry(fingerprint).or_default().pinned += count;
+        }
+        Reservation {
+            fingerprints,
+            references,
+            warm: Vec::new(),
+            begun: false,
+        }
+    }
+
+    /// Phase 2 (dequeue): records each distinct column as a hit (resident)
+    /// or miss (about to be built by the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation was already begun.
+    pub fn begin(&self, reservation: &mut Reservation) {
+        assert!(!reservation.begun, "reservation begun twice");
+        reservation.begun = true;
+        let mut state = lock(&self.state);
+        for &fingerprint in &reservation.fingerprints {
+            let warm = self.corpus.contains(fingerprint);
+            reservation.warm.push(warm);
+            if warm {
+                state.totals.hits += 1;
+                if let Some(meta) = state.entries.get_mut(&fingerprint) {
+                    meta.ever_hit = true;
+                }
+            } else {
+                state.totals.misses += 1;
+            }
+        }
+    }
+
+    /// Phase 3 (after the run): counts freshly resident misses as inserts,
+    /// touches every requested entry in first-appearance order, drops the
+    /// pins, evicts down to the byte budget, and returns the post-release
+    /// [`ServeStats`] snapshot (with `queue_depth` 0 — [`JoinService`]
+    /// overwrites it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::begin`] was never called on the reservation.
+    pub fn release(&self, reservation: Reservation) -> ServeStats {
+        assert!(reservation.begun, "release of a reservation that never began");
+        let mut state = lock(&self.state);
+        for (i, &fingerprint) in reservation.fingerprints.iter().enumerate() {
+            if !reservation.warm[i] && self.corpus.contains(fingerprint) {
+                state.totals.inserts += 1;
+            }
+            state.clock += 1;
+            let clock = state.clock;
+            if let Some(meta) = state.entries.get_mut(&fingerprint) {
+                meta.last_touch = clock;
+                meta.pinned = meta.pinned.saturating_sub(reservation.references[i]);
+            }
+        }
+        self.evict_to_budget(&mut state);
+        // Drop metadata nothing references: unpinned and not resident.
+        let corpus = &self.corpus;
+        state
+            .entries
+            .retain(|&fingerprint, meta| meta.pinned > 0 || corpus.contains(fingerprint));
+        self.snapshot(&state)
+    }
+
+    /// Runs `repository` through `runner` with the full reserve → begin →
+    /// release cycle and stamps the release snapshot onto the outcome. The
+    /// runner must share this cache's corpus
+    /// (`runner.with_corpus(resident.shared())`) for residency to have any
+    /// effect; the runner asserts the normalize options agree.
+    pub fn run(&self, runner: &BatchJoinRunner, repository: &[ColumnPair]) -> BatchJoinOutcome {
+        let mut reservation = self.reserve(repository);
+        self.begin(&mut reservation);
+        let mut outcome = runner.run(repository);
+        outcome.serve = Some(self.release(reservation));
+        outcome
+    }
+
+    /// A point-in-time counter snapshot (no release; `queue_depth` 0).
+    pub fn stats(&self) -> ServeStats {
+        let state = lock(&self.state);
+        self.snapshot(&state)
+    }
+
+    fn snapshot(&self, state: &CacheState) -> ServeStats {
+        ServeStats {
+            hits: state.totals.hits,
+            misses: state.totals.misses,
+            inserts: state.totals.inserts,
+            evictions: state.totals.evictions,
+            bytes_resident: self.corpus.resident_bytes(),
+            queue_depth: 0,
+        }
+    }
+
+    /// Evicts ascending by `(pinned, ever_hit, last_touch, fingerprint)`
+    /// until resident bytes fit the budget (see the crate docs).
+    fn evict_to_budget(&self, state: &mut CacheState) {
+        let Some(budget) = self.byte_budget else {
+            return;
+        };
+        let mut resident = self.corpus.resident_entries();
+        let mut total: usize = resident.iter().map(|&(_, bytes)| bytes).sum();
+        if total <= budget {
+            return;
+        }
+        resident.sort_by_key(|&(fingerprint, _)| {
+            let meta = state.entries.get(&fingerprint).copied().unwrap_or_default();
+            (meta.pinned > 0, meta.ever_hit, meta.last_touch, fingerprint)
+        });
+        for (fingerprint, bytes) in resident {
+            if total <= budget {
+                break;
+            }
+            if self.corpus.evict(fingerprint).is_some() {
+                total -= bytes;
+                state.totals.evictions += 1;
+            }
+        }
+    }
+}
+
+/// One admitted, not-yet-run request.
+#[derive(Debug)]
+struct QueuedRequest {
+    ticket: u64,
+    repository: Vec<ColumnPair>,
+    reservation: Reservation,
+}
+
+#[derive(Debug, Default)]
+struct ServiceQueue {
+    next_ticket: u64,
+    waiting: VecDeque<QueuedRequest>,
+}
+
+/// Request admission in front of a shared [`BatchJoinRunner`]: a bounded
+/// FIFO queue whose entries pin their columns in the [`ResidentCorpus`]
+/// from submission to release (see the crate docs).
+#[derive(Debug)]
+pub struct JoinService {
+    resident: ResidentCorpus,
+    runner: BatchJoinRunner,
+    queue: Mutex<ServiceQueue>,
+    capacity: usize,
+}
+
+impl JoinService {
+    /// Builds a service whose runner applies `config` under `threads`
+    /// shared worker threads, with the resident corpus wired in. The
+    /// corpus normalizes exactly as the n-gram matcher does (under
+    /// [`RowMatchingStrategy::Golden`] the corpus goes unused but the
+    /// admission queue still applies).
+    pub fn new(config: JoinPipelineConfig, threads: usize, serve: ServeConfig) -> Self {
+        let options = match &config.matching {
+            RowMatchingStrategy::NGram(matcher) => matcher.normalize,
+            RowMatchingStrategy::Golden => NormalizeOptions::default(),
+        };
+        let capacity = serve.queue_capacity;
+        let resident = ResidentCorpus::new(options, serve);
+        let runner = BatchJoinRunner::new(config, threads).with_corpus(resident.shared());
+        Self {
+            resident,
+            runner,
+            queue: Mutex::new(ServiceQueue::default()),
+            capacity,
+        }
+    }
+
+    /// The resident cache (counters, corpus stats, byte budget).
+    pub fn resident(&self) -> &ResidentCorpus {
+        &self.resident
+    }
+
+    /// The shared runner every request runs through.
+    pub fn runner(&self) -> &BatchJoinRunner {
+        &self.runner
+    }
+
+    /// Admits `repository`, pinning its columns and queueing it FIFO.
+    /// Returns the request's ticket, or [`AdmissionError::QueueFull`] —
+    /// without touching the cache — when the queue is at capacity.
+    pub fn submit(&self, repository: Vec<ColumnPair>) -> Result<u64, AdmissionError> {
+        let mut queue = lock(&self.queue);
+        if queue.waiting.len() >= self.capacity {
+            return Err(AdmissionError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let reservation = self.resident.reserve(&repository);
+        let ticket = queue.next_ticket;
+        queue.next_ticket += 1;
+        queue.waiting.push_back(QueuedRequest {
+            ticket,
+            repository,
+            reservation,
+        });
+        Ok(ticket)
+    }
+
+    /// Queued (admitted but not yet run) requests.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.queue).waiting.len()
+    }
+
+    /// Dequeues and runs the oldest request; `None` when the queue is
+    /// empty. The outcome carries the release-time [`ServeStats`] with the
+    /// post-dequeue queue depth.
+    pub fn run_next(&self) -> Option<(u64, BatchJoinOutcome)> {
+        let QueuedRequest {
+            ticket,
+            repository,
+            mut reservation,
+        } = lock(&self.queue).waiting.pop_front()?;
+        self.resident.begin(&mut reservation);
+        let mut outcome = self.runner.run(&repository);
+        let mut stats = self.resident.release(reservation);
+        stats.queue_depth = self.queue_depth();
+        outcome.serve = Some(stats);
+        Some((ticket, outcome))
+    }
+
+    /// Runs every queued request in FIFO order.
+    pub fn drain(&self) -> Vec<(u64, BatchJoinOutcome)> {
+        let mut outcomes = Vec::new();
+        while let Some(entry) = self.run_next() {
+            outcomes.push(entry);
+        }
+        outcomes
+    }
+
+    /// Lifetime cache counters with the current queue depth.
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = self.resident.stats();
+        stats.queue_depth = self.queue_depth();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tjoin_datasets::RepositoryConfig;
+
+    fn assert_outcomes_identical(a: &BatchJoinOutcome, b: &BatchJoinOutcome, context: &str) {
+        assert_eq!(a.reports.len(), b.reports.len(), "{context}: report count");
+        assert_eq!(a.faults, b.faults, "{context}: fault tallies");
+        for (ra, rb) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(ra.name, rb.name, "{context}: report order");
+            assert_eq!(ra.status, rb.status, "{context}: status of {}", ra.name);
+            assert_eq!(
+                ra.outcome.predicted_pairs, rb.outcome.predicted_pairs,
+                "{context}: predicted pairs of {}",
+                ra.name
+            );
+            assert_eq!(ra.outcome.metrics, rb.outcome.metrics, "{context}: metrics of {}", ra.name);
+        }
+        assert_eq!(a.metrics.micro, b.metrics.micro, "{context}: micro");
+        assert_eq!(a.metrics.macro_f1, b.metrics.macro_f1, "{context}: macro");
+    }
+
+    fn small_repo(seed: u64) -> Vec<ColumnPair> {
+        RepositoryConfig::new(3, 16).generate(seed)
+    }
+
+    #[test]
+    fn warm_run_is_bit_identical_and_counts_hits() {
+        let resident = ResidentCorpus::new(NormalizeOptions::default(), ServeConfig::default());
+        let runner =
+            BatchJoinRunner::new(JoinPipelineConfig::default(), 2).with_corpus(resident.shared());
+        let repo = small_repo(21);
+
+        let cold = resident.run(&runner, &repo);
+        let cold_stats = cold.serve.expect("serve stats stamped");
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold_stats.misses, 6, "3 pairs x 2 distinct columns");
+        assert_eq!(cold_stats.inserts, 6);
+        assert_eq!(cold_stats.evictions, 0);
+        assert!(cold_stats.bytes_resident > 0);
+
+        let warm = resident.run(&runner, &repo);
+        let warm_stats = warm.serve.expect("serve stats stamped");
+        assert_outcomes_identical(&cold, &warm, "warm vs cold");
+        assert_eq!(warm_stats.hits, 6, "every column resident on the second run");
+        assert_eq!(warm_stats.misses, 6, "lifetime counter keeps the cold misses");
+        assert_eq!(warm_stats.inserts, 6);
+        assert_eq!(warm_stats.bytes_resident, cold_stats.bytes_resident);
+    }
+
+    #[test]
+    fn hard_budget_holds_after_every_release() {
+        let unbounded = ResidentCorpus::new(NormalizeOptions::default(), ServeConfig::default());
+        let budgeted = ResidentCorpus::new(
+            NormalizeOptions::default(),
+            ServeConfig {
+                byte_budget: Some(2_000),
+                ..ServeConfig::default()
+            },
+        );
+        let free_runner =
+            BatchJoinRunner::new(JoinPipelineConfig::default(), 2).with_corpus(unbounded.shared());
+        let tight_runner =
+            BatchJoinRunner::new(JoinPipelineConfig::default(), 2).with_corpus(budgeted.shared());
+        for seed in [1, 2, 1, 3, 1] {
+            let repo = small_repo(seed);
+            let free = unbounded.run(&free_runner, &repo);
+            let tight = budgeted.run(&tight_runner, &repo);
+            assert_outcomes_identical(&free, &tight, "eviction must not change results");
+            let stats = tight.serve.expect("serve stats stamped");
+            assert!(
+                stats.bytes_resident <= 2_000,
+                "budget overshot: {} bytes resident",
+                stats.bytes_resident
+            );
+        }
+        assert!(
+            budgeted.stats().evictions > 0,
+            "a 2 kB budget must evict under multi-repository traffic"
+        );
+    }
+
+    #[test]
+    fn lru_prefers_never_hit_then_oldest() {
+        let hot = small_repo(5);
+        let cold = small_repo(6);
+        // Size the budget off an unbudgeted probe: fits the hot repository
+        // with slack, but not both repositories at once.
+        let probe = ResidentCorpus::new(NormalizeOptions::default(), ServeConfig::default());
+        let probe_runner =
+            BatchJoinRunner::new(JoinPipelineConfig::default(), 1).with_corpus(probe.shared());
+        probe.run(&probe_runner, &hot);
+        let budget = probe.stats().bytes_resident * 3 / 2;
+
+        let resident = ResidentCorpus::new(
+            NormalizeOptions::default(),
+            ServeConfig {
+                byte_budget: Some(budget),
+                ..ServeConfig::default()
+            },
+        );
+        let runner =
+            BatchJoinRunner::new(JoinPipelineConfig::default(), 1).with_corpus(resident.shared());
+        resident.run(&runner, &hot);
+        let second = resident.run(&runner, &hot).serve.expect("serve stats stamped");
+        assert_eq!(second.hits, 6, "warm rerun marks the hot columns ever-hit");
+        resident.run(&runner, &cold);
+        let fourth = resident.run(&runner, &hot).serve.expect("serve stats stamped");
+        assert_eq!(
+            fourth.hits,
+            12,
+            "the cold run must evict its own never-hit columns, not the hot ones"
+        );
+        assert!(fourth.evictions > 0, "two repositories cannot both fit the budget");
+        for pair in &hot {
+            assert!(resident.corpus().contains(column_fingerprint(&pair.source)));
+            assert!(resident.corpus().contains(column_fingerprint(&pair.target)));
+        }
+    }
+
+    #[test]
+    fn queue_rejects_beyond_capacity_and_preserves_fifo() {
+        let service = JoinService::new(
+            JoinPipelineConfig::default(),
+            2,
+            ServeConfig {
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let first = service.submit(small_repo(31)).expect("first admitted");
+        let second = service.submit(small_repo(32)).expect("second admitted");
+        assert_eq!(
+            service.submit(small_repo(33)),
+            Err(AdmissionError::QueueFull { capacity: 2 }),
+        );
+        assert_eq!(service.queue_depth(), 2);
+        assert_eq!(service.stats().queue_depth, 2);
+
+        let outcomes = service.drain();
+        let tickets: Vec<u64> = outcomes.iter().map(|&(t, _)| t).collect();
+        assert_eq!(tickets, vec![first, second], "FIFO order");
+        assert_eq!(outcomes[0].1.serve.expect("stamped").queue_depth, 1);
+        assert_eq!(outcomes[1].1.serve.expect("stamped").queue_depth, 0);
+        assert_eq!(service.queue_depth(), 0);
+        // Capacity freed: the rejected repository now admits.
+        assert!(service.submit(small_repo(33)).is_ok());
+        assert_eq!(
+            format!("{}", AdmissionError::QueueFull { capacity: 2 }),
+            "request queue is full (2 requests waiting)"
+        );
+    }
+
+    #[test]
+    fn submitted_requests_pin_their_columns_against_eviction() {
+        // Tiny budget, but the queued request's pins keep its columns
+        // evicting last: after run 1 evicts to budget, run 2 (same repo,
+        // already queued at pin time) still proceeds correctly.
+        let service = JoinService::new(
+            JoinPipelineConfig::default(),
+            2,
+            ServeConfig {
+                byte_budget: Some(1),
+                ..ServeConfig::default()
+            },
+        );
+        let repo = small_repo(41);
+        service.submit(repo.clone()).expect("admitted");
+        service.submit(repo).expect("admitted");
+        let outcomes = service.drain();
+        assert_eq!(outcomes.len(), 2);
+        let last = outcomes[1].1.serve.expect("stamped");
+        assert!(last.bytes_resident <= 1, "budget of one byte empties the cache");
+        assert!(last.evictions >= last.inserts, "every insert must eventually evict");
+        assert_outcomes_identical(
+            &outcomes[0].1,
+            &outcomes[1].1,
+            "eviction between identical requests",
+        );
+    }
+
+    #[test]
+    fn shared_columns_across_repositories_resolve_to_one_entry() {
+        let resident = ResidentCorpus::new(NormalizeOptions::default(), ServeConfig::default());
+        let runner =
+            BatchJoinRunner::new(JoinPipelineConfig::default(), 2).with_corpus(resident.shared());
+        let repo = small_repo(51);
+        let mut reservation = resident.reserve(&repo);
+        assert_eq!(reservation.distinct_columns(), 6);
+        resident.begin(&mut reservation);
+        runner.run(&repo);
+        resident.release(reservation);
+
+        // A second repository re-using one column pair of the first adds
+        // only the two genuinely new columns.
+        let mut overlap = small_repo(52);
+        overlap[0] = repo[0].clone();
+        let warm = resident.run(&runner, &overlap).serve.expect("stamped");
+        assert_eq!(warm.hits, 2, "the shared pair's two columns hit");
+        assert_eq!(warm.misses, 6 + 4, "lifetime misses: first repo + two new pairs");
+    }
+
+    #[test]
+    fn golden_strategy_serves_without_a_corpus() {
+        let config = JoinPipelineConfig {
+            matching: RowMatchingStrategy::Golden,
+            ..JoinPipelineConfig::default()
+        };
+        let service = JoinService::new(config, 2, ServeConfig::default());
+        service.submit(small_repo(61)).expect("admitted");
+        let outcomes = service.drain();
+        assert_eq!(outcomes.len(), 1);
+        let stats = outcomes[0].1.serve.expect("stamped");
+        // The runner never interns under Golden: the pre-scan counts
+        // misses, nothing becomes resident.
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.inserts, 0);
+        assert_eq!(stats.bytes_resident, 0);
+    }
+}

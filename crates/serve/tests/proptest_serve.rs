@@ -1,0 +1,156 @@
+//! Differential proptest gate for the serving layer: residency, eviction,
+//! and admission must never change results.
+//!
+//! Across randomized request workloads (hot-skewed repeat sequences over
+//! 1–3 distinct repositories) × byte budgets {unbounded, smaller than any
+//! single column, half the workload's footprint, larger than the
+//! workload} × runner thread budgets {1, 2, 4} (with 1 repeated, covering
+//! rerun determinism):
+//!
+//! * **Warm is bit-identical to cold.** Every served request's outcome —
+//!   per-pair predictions, metrics, transformation sets — equals the cold
+//!   oracle: the same repository run on a *fresh* runner with no resident
+//!   corpus. This holds under mid-stream eviction (the half-footprint
+//!   budget evicts between requests while later requests are still
+//!   queued) and under a budget too small for even one column (the cache
+//!   ends every release empty).
+//! * **The budget is hard at release boundaries.** After every release,
+//!   `ServeStats::bytes_resident` is `<=` the configured budget.
+//! * **Counters are deterministic.** The full per-request [`ServeStats`]
+//!   sequence — hits, misses, inserts, evictions, resident bytes, queue
+//!   depth — is identical across reruns and across runner thread budgets,
+//!   because cache bookkeeping is serialized in request order.
+
+use proptest::prelude::*;
+use tjoin_datasets::{RepositoryConfig, RequestWorkload, RequestWorkloadConfig};
+use tjoin_join::{BatchJoinOutcome, BatchJoinRunner, JoinPipelineConfig};
+use tjoin_serve::{JoinService, ServeConfig};
+use tjoin_text::ServeStats;
+
+/// Asserts two batch outcomes carry identical results: same report order,
+/// same per-pair predicted pairs / metrics / candidate counts /
+/// transformation sets, same aggregate metrics. (Wall-clock fields,
+/// scheduling counters, and serve counters are measurements, not results,
+/// and are exempt.)
+fn assert_outcomes_identical(a: &BatchJoinOutcome, b: &BatchJoinOutcome, context: &str) {
+    assert_eq!(a.reports.len(), b.reports.len(), "{context}: report count");
+    assert_eq!(a.faults, b.faults, "{context}: fault tallies");
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.name, rb.name, "{context}: report order");
+        assert_eq!(ra.status, rb.status, "{context}: status of {}", ra.name);
+        assert_eq!(
+            ra.outcome.predicted_pairs, rb.outcome.predicted_pairs,
+            "{context}: predicted pairs of {}",
+            ra.name
+        );
+        assert_eq!(ra.outcome.metrics, rb.outcome.metrics, "{context}: metrics of {}", ra.name);
+        assert_eq!(
+            ra.outcome.candidate_pairs, rb.outcome.candidate_pairs,
+            "{context}: candidates of {}",
+            ra.name
+        );
+        assert_eq!(
+            ra.outcome.transformations, rb.outcome.transformations,
+            "{context}: transformations of {}",
+            ra.name
+        );
+    }
+    assert_eq!(a.metrics.micro, b.metrics.micro, "{context}: micro metrics");
+    assert_eq!(a.metrics.macro_f1, b.metrics.macro_f1, "{context}: macro F1");
+}
+
+fn workload(seed: u64, distinct: usize, requests: usize) -> RequestWorkload {
+    RequestWorkloadConfig {
+        distinct,
+        requests,
+        repository: RepositoryConfig::new(2, 10),
+    }
+    .generate(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn serving_matches_cold_oracle_under_every_budget_and_thread_count(
+        seed in 0u64..1_000_000,
+        distinct in 1usize..4,
+        requests in 1usize..6,
+    ) {
+        let w = workload(seed, distinct, requests);
+        let config = JoinPipelineConfig::default();
+
+        // Cold oracle: every request on a fresh runner, no residency.
+        let oracle: Vec<BatchJoinOutcome> = w
+            .sequence
+            .iter()
+            .map(|&r| BatchJoinRunner::new(config.clone(), 2).run(&w.repositories[r]))
+            .collect();
+
+        // The workload's unbounded resident footprint, to size the
+        // mid-stream-eviction budget.
+        let footprint = {
+            let service = JoinService::new(config.clone(), 2, ServeConfig::default());
+            for &r in &w.sequence {
+                prop_assert!(service.submit(w.repositories[r].clone()).is_ok());
+            }
+            service.drain();
+            service.stats().bytes_resident
+        };
+        prop_assert!(footprint > 0, "n-gram serving must leave columns resident");
+
+        let budgets = [
+            None,                      // unbounded: no eviction ever
+            Some(1),                   // smaller than any single column: always empty
+            Some(footprint / 2 + 1),   // mid-stream eviction between requests
+            Some(footprint * 2),       // roomy: everything stays resident
+        ];
+        for budget in budgets {
+            let mut reference_stats: Option<Vec<ServeStats>> = None;
+            // Threads {1, 2, 4}, with 1 repeated: the repeat pins rerun
+            // determinism, the spread pins thread invariance.
+            for threads in [1usize, 2, 4, 1] {
+                let service = JoinService::new(
+                    config.clone(),
+                    threads,
+                    ServeConfig { byte_budget: budget, ..ServeConfig::default() },
+                );
+                for &r in &w.sequence {
+                    prop_assert!(service.submit(w.repositories[r].clone()).is_ok());
+                }
+                let outcomes = service.drain();
+                prop_assert_eq!(outcomes.len(), w.sequence.len());
+                let mut stats_sequence = Vec::new();
+                for (i, (ticket, outcome)) in outcomes.iter().enumerate() {
+                    prop_assert_eq!(*ticket, i as u64, "FIFO ticket order");
+                    assert_outcomes_identical(
+                        outcome,
+                        &oracle[i],
+                        &format!(
+                            "request {i} (repository {}) under budget {budget:?} at {threads} threads",
+                            w.sequence[i]
+                        ),
+                    );
+                    let stats = outcome.serve.expect("service stamps serve stats");
+                    if let Some(limit) = budget {
+                        prop_assert!(
+                            stats.bytes_resident <= limit,
+                            "budget {} overshot after request {}: {} bytes resident",
+                            limit, i, stats.bytes_resident
+                        );
+                    }
+                    stats_sequence.push(stats);
+                }
+                match &reference_stats {
+                    None => reference_stats = Some(stats_sequence),
+                    Some(reference) => prop_assert_eq!(
+                        &stats_sequence, reference,
+                        "serve counters must be identical across thread budgets and reruns \
+                         ({} threads, budget {:?})",
+                        threads, budget
+                    ),
+                }
+            }
+        }
+    }
+}

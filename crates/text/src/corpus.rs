@@ -27,15 +27,32 @@
 //!   their own column. [`GramCorpus::stats`] exposes the intern/build/hit
 //!   counters the differential tests and the `join_throughput` bench
 //!   assert on.
-//! * **Build failures are contained and sticky.** Every lazy build runs
-//!   under `catch_unwind`: a panicking `ColumnStats`/`NGramIndex`/column
-//!   build records a [`CorpusFailure`] *in the cache entry* instead of
-//!   poisoning the lock, so one bad column fails exactly the pairs that
-//!   reference it — cleanly, via the `try_*` accessors — while every other
-//!   entry keeps serving. Corpus locks are taken through
+//! * **Build failures are contained, retried when transient, and sticky
+//!   once exhausted.** Every lazy build runs under `catch_unwind` via
+//!   [`CorpusRetryPolicy`]: a *panicking* build (the transient class —
+//!   environmental, injected, or racy) is retried up to `max_attempts`
+//!   with `backoff` between attempts, while a *typed* build error (the
+//!   deterministic class — e.g. an [`ArenaError`] capacity overflow, a
+//!   pure function of the inputs) short-circuits on the first attempt.
+//!   Whatever the final outcome, it is recorded *in the cache entry*
+//!   instead of poisoning the lock, so one bad column fails exactly the
+//!   pairs that reference it — cleanly, via the `try_*` accessors — while
+//!   every other entry keeps serving. Corpus locks are taken through
 //!   [`crate::fault::lock_recover`], so even an externally poisoned mutex
 //!   (exercised by the fault-injection harness) cannot take down later
-//!   hits. Failed entries are counted in [`CorpusStats`].
+//!   hits. Failed entries and per-artifact attempt totals are counted in
+//!   [`CorpusStats`].
+//! * **Entries are evictable, for the serving layer.** A long-lived corpus
+//!   (the `tjoin-serve` resident cache) needs to bound memory:
+//!   [`GramCorpus::resident_entries`] / [`GramCorpus::entry_bytes`] expose
+//!   per-fingerprint byte accounting (arena bytes + offsets + stats maps +
+//!   index postings via the `approximate_bytes` family), and
+//!   [`GramCorpus::evict`] removes a completed entry so a later request
+//!   re-interns it. Each built column carries a monotonically increasing
+//!   [`CorpusColumn::generation`] tag, so "this entry was rebuilt after an
+//!   eviction" is observable. Eviction can never change results — every
+//!   artifact is a pure function of the cells, the options, and the size
+//!   range — only counters and wall-clock.
 //!
 //! Everything a corpus serves is a pure function of the column's cells, the
 //! corpus's [`NormalizeOptions`], and the requested size range — the same
@@ -53,8 +70,9 @@ use crate::normalize::NormalizeOptions;
 use crate::scoring::ColumnStats;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// The content fingerprint a corpus keys a column by: a length-seeded chain
 /// of every cell's [`fingerprint64`].
@@ -108,6 +126,84 @@ impl fmt::Display for CorpusFailure {
 
 impl std::error::Error for CorpusFailure {}
 
+/// Bounded retry policy for lazy corpus builds (ROADMAP fault-isolation
+/// headroom: sticky failures used to be recorded on the *first* panic,
+/// which turns a transient hiccup into a permanent per-(column, range)
+/// outage in a long-lived resident corpus).
+///
+/// The policy distinguishes the two failure classes a build can hit:
+///
+/// * **Transient** — the build *panicked*. Retried up to `max_attempts`
+///   total attempts, sleeping `backoff` between attempts. A build that
+///   exhausts every attempt is recorded sticky, same as before.
+/// * **Deterministic** — the build returned a *typed* error (an
+///   [`ArenaError`] capacity overflow): a pure function of the inputs that
+///   would fail identically forever. Short-circuits on the first attempt,
+///   never retried.
+///
+/// The default (`max_attempts: 1`, zero backoff) reproduces the historical
+/// fail-on-first-panic behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusRetryPolicy {
+    /// Total build attempts (including the first); at least 1.
+    pub max_attempts: usize,
+    /// Sleep between consecutive attempts of one build.
+    pub backoff: Duration,
+}
+
+impl Default for CorpusRetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 1, backoff: Duration::ZERO }
+    }
+}
+
+impl CorpusRetryPolicy {
+    /// A policy of `max_attempts` total attempts with `backoff` between
+    /// them. Panics when `max_attempts` is 0 (a build must run at least
+    /// once).
+    pub fn new(max_attempts: usize, backoff: Duration) -> Self {
+        assert!(max_attempts >= 1, "CorpusRetryPolicy requires at least one attempt");
+        Self { max_attempts, backoff }
+    }
+}
+
+/// Runs `build` under `policy`: panics are the transient class (retried),
+/// typed `Err`s the deterministic class (returned immediately). Returns the
+/// final outcome plus the number of attempts actually made — the count the
+/// `*_attempts` counters in [`CorpusStats`] aggregate.
+fn build_with_retry<A>(
+    policy: CorpusRetryPolicy,
+    artifact: &'static str,
+    build: impl Fn() -> Result<A, CorpusFailure>,
+) -> (Result<A, CorpusFailure>, usize) {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match catch_unwind(AssertUnwindSafe(&build)) {
+            // Ok(Ok) = success; Ok(Err) = deterministic typed failure —
+            // either way, the outcome is final on this attempt.
+            Ok(outcome) => return (outcome, attempt),
+            Err(payload) => {
+                if attempt >= policy.max_attempts {
+                    return (Err(CorpusFailure::new(artifact, payload)), attempt);
+                }
+                if !policy.backoff.is_zero() {
+                    std::thread::sleep(policy.backoff);
+                }
+            }
+        }
+    }
+}
+
+/// A completed cache entry: the built artifact (or its sticky contained
+/// failure) plus how many build attempts it took — surfaced through
+/// [`CorpusStats`] so retry behaviour is observable.
+#[derive(Debug, Clone)]
+struct Built<A> {
+    result: Result<Arc<A>, CorpusFailure>,
+    attempts: usize,
+}
+
 /// Intern/build/hit counters of a [`GramCorpus`] (see [`GramCorpus::stats`]).
 ///
 /// `columns_interned` is the number of *distinct* columns normalized — each
@@ -115,7 +211,16 @@ impl std::error::Error for CorpusFailure {}
 /// calls served from cache: every hit is a whole-column normalization the
 /// per-call path would have re-run. The same applies to the stats/index
 /// pairs of counters. The `*_failed` counters record sticky build failures
-/// (always 0 outside fault injection and pathological inputs).
+/// (always 0 outside fault injection and pathological inputs), and the
+/// `*_attempts` counters total the build attempts behind the cached
+/// entries, so `column_attempts > columns_interned + columns_failed` means
+/// the retry policy absorbed transient failures.
+///
+/// The snapshot covers the **currently resident** entries plus the
+/// corpus-lifetime `column_hits` counter: evicting an entry (see
+/// [`GramCorpus::evict`]) drops its built/failed/attempt contributions from
+/// later snapshots. A serving layer that needs lifetime totals across
+/// evictions keeps its own [`ServeStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CorpusStats {
     /// Distinct columns interned (normalization passes actually run).
@@ -136,6 +241,14 @@ pub struct CorpusStats {
     pub stats_failed: usize,
     /// `NGramIndex` builds recorded as sticky failures.
     pub indexes_failed: usize,
+    /// Total column build attempts behind the resident entries (≥
+    /// `columns_interned + columns_failed`; the excess is retried
+    /// transient failures).
+    pub column_attempts: usize,
+    /// Total `ColumnStats` build attempts behind the resident entries.
+    pub stats_attempts: usize,
+    /// Total `NGramIndex` build attempts behind the resident entries.
+    pub index_attempts: usize,
 }
 
 impl CorpusStats {
@@ -151,9 +264,9 @@ impl CorpusStats {
     }
 }
 
-/// A per-size-range artifact cache entry: the built artifact or its sticky
-/// contained failure, keyed by `(n_min, n_max)`.
-type ArtifactCache<A> = FxHashMap<(usize, usize), Result<Arc<A>, CorpusFailure>>;
+/// A per-size-range artifact cache: the built artifact or its sticky
+/// contained failure (plus its attempt count), keyed by `(n_min, n_max)`.
+type ArtifactCache<A> = FxHashMap<(usize, usize), Built<A>>;
 
 /// One interned column: its normalized cells — flattened into a
 /// [`ColumnArena`] at build time — plus lazily built, cached gram artifacts
@@ -163,6 +276,8 @@ type ArtifactCache<A> = FxHashMap<(usize, usize), Result<Arc<A>, CorpusFailure>>
 #[derive(Debug)]
 pub struct CorpusColumn {
     normalized: ColumnArena,
+    generation: u64,
+    retry: CorpusRetryPolicy,
     stats: Mutex<ArtifactCache<ColumnStats>>,
     indexes: Mutex<ArtifactCache<NGramIndex>>,
     stats_hits: AtomicUsize,
@@ -173,9 +288,13 @@ impl CorpusColumn {
     fn build<C: CellText + ?Sized>(
         raw: &C,
         options: &NormalizeOptions,
+        retry: CorpusRetryPolicy,
+        generation: u64,
     ) -> Result<Self, ArenaError> {
         Ok(Self {
             normalized: ColumnArena::try_normalized(raw, options)?,
+            generation,
+            retry,
             stats: Mutex::new(FxHashMap::default()),
             indexes: Mutex::new(FxHashMap::default()),
             stats_hits: AtomicUsize::new(0),
@@ -188,9 +307,38 @@ impl CorpusColumn {
         &self.normalized
     }
 
+    /// The corpus-unique, monotonically increasing build generation of this
+    /// entry: a column re-interned after an eviction carries a strictly
+    /// greater generation than the evicted build, which is how cache-layer
+    /// tests prove "this is a rebuild, not the old entry".
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Estimated resident memory of this entry: the normalized arena (text
+    /// buffer + offset array) plus every *successfully built* cached stats
+    /// map and index posting list. This is the per-entry accounting the
+    /// serving layer's byte-budgeted eviction sums; sticky failures hold no
+    /// artifact and contribute nothing.
+    pub fn approximate_bytes(&self) -> usize {
+        let mut bytes = self.normalized.approximate_bytes();
+        for built in fault::lock_recover(&self.stats).values() {
+            if let Ok(stats) = &built.result {
+                bytes += stats.approximate_bytes();
+            }
+        }
+        for built in fault::lock_recover(&self.indexes).values() {
+            if let Ok(index) = &built.result {
+                bytes += index.approximate_bytes();
+            }
+        }
+        bytes
+    }
+
     /// The column's [`ColumnStats`] over grams of sizes `n_min..=n_max`,
     /// built on first request and cached (exactly-once under concurrency).
-    /// A panicking build is contained and recorded as a sticky
+    /// A panicking build is retried per the corpus's [`CorpusRetryPolicy`];
+    /// once attempts are exhausted it is contained and recorded as a sticky
     /// [`CorpusFailure`] served to every requester of this entry; the cache
     /// lock is never poisoned by it.
     pub fn try_stats(&self, n_min: usize, n_max: usize) -> Result<Arc<ColumnStats>, CorpusFailure> {
@@ -200,15 +348,14 @@ impl CorpusColumn {
         let mut cache = fault::lock_recover(&self.stats);
         if let Some(entry) = cache.get(&(n_min, n_max)) {
             self.stats_hits.fetch_add(1, Ordering::Relaxed);
-            return entry.clone();
+            return entry.result.clone();
         }
-        let built = catch_unwind(AssertUnwindSafe(|| {
+        let (result, attempts) = build_with_retry(self.retry, "stats", || {
             fault::fire(FaultSite::CorpusStatsBuild);
-            Arc::new(ColumnStats::build_on(&self.normalized, n_min, n_max))
-        }))
-        .map_err(|payload| CorpusFailure::new("stats", payload));
-        cache.insert((n_min, n_max), built.clone());
-        built
+            Ok(Arc::new(ColumnStats::build_on(&self.normalized, n_min, n_max)))
+        });
+        cache.insert((n_min, n_max), Built { result: result.clone(), attempts });
+        result
     }
 
     /// Infallible [`Self::try_stats`]: panics with the recorded failure's
@@ -228,16 +375,16 @@ impl CorpusColumn {
         let mut cache = fault::lock_recover(&self.indexes);
         if let Some(entry) = cache.get(&(n_min, n_max)) {
             self.index_hits.fetch_add(1, Ordering::Relaxed);
-            return entry.clone();
+            return entry.result.clone();
         }
-        let built = catch_unwind(AssertUnwindSafe(|| {
+        let (result, attempts) = build_with_retry(self.retry, "index", || {
             fault::fire(FaultSite::CorpusIndexBuild);
-            NGramIndex::try_build_on(&self.normalized, n_min, n_max).map(Arc::new)
-        }))
-        .map_err(|payload| CorpusFailure::new("index", payload))
-        .and_then(|r| r.map_err(|e| CorpusFailure::from_arena("index", e)));
-        cache.insert((n_min, n_max), built.clone());
-        built
+            NGramIndex::try_build_on(&self.normalized, n_min, n_max)
+                .map(Arc::new)
+                .map_err(|e| CorpusFailure::from_arena("index", e))
+        });
+        cache.insert((n_min, n_max), Built { result: result.clone(), attempts });
+        result
     }
 
     /// Infallible [`Self::try_index`]: panics with the recorded failure's
@@ -248,9 +395,9 @@ impl CorpusColumn {
 }
 
 /// A cached intern cell: exactly one racer builds, and what it records —
-/// the built column or its contained failure — is what every requester of
-/// this fingerprint observes from then on.
-type ColumnCell = OnceLock<Result<Arc<CorpusColumn>, CorpusFailure>>;
+/// the built column or its contained failure, plus the attempt count — is
+/// what every requester of this fingerprint observes from then on.
+type ColumnCell = OnceLock<Built<CorpusColumn>>;
 
 /// A repository-wide interned corpus of column text (see the module docs).
 ///
@@ -265,8 +412,12 @@ type ColumnCell = OnceLock<Result<Arc<CorpusColumn>, CorpusFailure>>;
 #[derive(Debug)]
 pub struct GramCorpus {
     options: NormalizeOptions,
+    retry: CorpusRetryPolicy,
     columns: Mutex<FxHashMap<u64, Arc<ColumnCell>>>,
     column_hits: AtomicUsize,
+    /// Build-generation counter: every column build attempt draws a fresh,
+    /// strictly increasing tag (see [`CorpusColumn::generation`]).
+    generations: AtomicU64,
     /// Debug-build collision check: the raw cells behind every fingerprint,
     /// compared on each cache hit. At 64 chained bits a repository would
     /// need billions of distinct columns before a collision becomes likely;
@@ -277,12 +428,21 @@ pub struct GramCorpus {
 }
 
 impl GramCorpus {
-    /// Creates an empty corpus normalizing with `options`.
+    /// Creates an empty corpus normalizing with `options`, under the
+    /// default (no-retry) build policy.
     pub fn new(options: NormalizeOptions) -> Self {
+        Self::with_retry(options, CorpusRetryPolicy::default())
+    }
+
+    /// Creates an empty corpus normalizing with `options` whose lazy builds
+    /// run under `retry` (see [`CorpusRetryPolicy`]).
+    pub fn with_retry(options: NormalizeOptions, retry: CorpusRetryPolicy) -> Self {
         Self {
             options,
+            retry,
             columns: Mutex::new(FxHashMap::default()),
             column_hits: AtomicUsize::new(0),
+            generations: AtomicU64::new(0),
             #[cfg(debug_assertions)]
             shadow: Mutex::new(FxHashMap::default()),
         }
@@ -291,6 +451,11 @@ impl GramCorpus {
     /// The normalization this corpus applies to every interned column.
     pub fn options(&self) -> &NormalizeOptions {
         &self.options
+    }
+
+    /// The retry policy every lazy build of this corpus runs under.
+    pub fn retry_policy(&self) -> CorpusRetryPolicy {
+        self.retry
     }
 
     /// Interns `raw` (keyed by [`column_fingerprint`]) and returns its
@@ -346,19 +511,24 @@ impl GramCorpus {
         let mut built = false;
         let entry = cell.get_or_init(|| {
             built = true;
-            catch_unwind(AssertUnwindSafe(|| {
+            let (result, attempts) = build_with_retry(self.retry, "column", || {
                 fault::fire(FaultSite::CorpusColumnBuild);
-                CorpusColumn::build(raw, &self.options).map(Arc::new)
-            }))
-            .map_err(|payload| CorpusFailure::new("column", payload))
-            .and_then(|r| r.map_err(|e| CorpusFailure::from_arena("column", e)))
+                // Each attempt draws a fresh generation; the successful
+                // attempt's tag is the one the entry keeps. Uniqueness and
+                // monotonicity — not density — are the contract.
+                let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+                CorpusColumn::build(raw, &self.options, self.retry, generation)
+                    .map(Arc::new)
+                    .map_err(|e| CorpusFailure::from_arena("column", e))
+            });
+            Built { result, attempts }
         });
         if !built {
             // Served from cache (whether the cell pre-existed or another
             // racer built it first): one whole-column normalization saved.
             self.column_hits.fetch_add(1, Ordering::Relaxed);
         }
-        entry.clone()
+        entry.result.clone()
     }
 
     /// Infallible [`Self::try_column`]: panics with the recorded failure's
@@ -372,8 +542,86 @@ impl GramCorpus {
     pub fn column_count(&self) -> usize {
         fault::lock_recover(&self.columns)
             .values()
-            .filter(|cell| matches!(cell.get(), Some(Ok(_))))
+            .filter(|cell| matches!(cell.get(), Some(built) if built.result.is_ok()))
             .count()
+    }
+
+    /// The resident, successfully built entries as `(fingerprint,
+    /// approximate bytes)` pairs, sorted by fingerprint (a deterministic
+    /// order for tests and eviction sweeps). In-flight builds and sticky
+    /// failures are not listed — only entries [`Self::evict`] would free
+    /// bytes for.
+    pub fn resident_entries(&self) -> Vec<(u64, usize)> {
+        let columns = fault::lock_recover(&self.columns);
+        let mut entries: Vec<(u64, usize)> = columns
+            .iter()
+            .filter_map(|(&fingerprint, cell)| match cell.get() {
+                Some(built) => match &built.result {
+                    Ok(column) => Some((fingerprint, column.approximate_bytes())),
+                    Err(_) => None,
+                },
+                None => None,
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(fingerprint, _)| fingerprint);
+        entries
+    }
+
+    /// Total approximate bytes of every resident built entry (the sum of
+    /// [`Self::resident_entries`]) — what a byte budget is enforced
+    /// against.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_entries().iter().map(|&(_, bytes)| bytes).sum()
+    }
+
+    /// The approximate byte footprint of the built entry for `fingerprint`,
+    /// or `None` when the fingerprint is absent, still building, or a
+    /// sticky failure.
+    pub fn entry_bytes(&self, fingerprint: u64) -> Option<usize> {
+        let columns = fault::lock_recover(&self.columns);
+        let built = columns.get(&fingerprint)?.get()?;
+        match &built.result {
+            Ok(column) => Some(column.approximate_bytes()),
+            Err(_) => None,
+        }
+    }
+
+    /// Whether a *completed, successfully built* entry for `fingerprint` is
+    /// resident (the serving layer's hit test).
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        let columns = fault::lock_recover(&self.columns);
+        matches!(
+            columns.get(&fingerprint).and_then(|cell| cell.get()),
+            Some(built) if built.result.is_ok()
+        )
+    }
+
+    /// Evicts the completed entry for `fingerprint`, returning the
+    /// approximate bytes freed — the built column's footprint, or 0 for a
+    /// sticky failure (failures hold no artifact but occupy a map slot).
+    /// Returns `None` when the fingerprint is absent **or its build is
+    /// still in flight** (an in-flight cell is owned by the builder racer;
+    /// evicting it would re-introduce the duplicated-build race interning
+    /// exists to prevent). A later request for the same content re-interns
+    /// and rebuilds under a fresh, strictly greater generation; because
+    /// every artifact is a pure function of cells/options/range, eviction
+    /// never changes results.
+    pub fn evict(&self, fingerprint: u64) -> Option<usize> {
+        let mut columns = fault::lock_recover(&self.columns);
+        let freed = match columns.get(&fingerprint) {
+            Some(cell) => match cell.get() {
+                Some(built) => match &built.result {
+                    Ok(column) => column.approximate_bytes(),
+                    Err(_) => 0,
+                },
+                None => return None, // in-flight build: not evictable
+            },
+            None => return None,
+        };
+        columns.remove(&fingerprint);
+        #[cfg(debug_assertions)]
+        fault::lock_recover(&self.shadow).remove(&fingerprint);
+        Some(freed)
     }
 
     /// A snapshot of the intern/build/hit counters (see [`CorpusStats`]).
@@ -387,7 +635,8 @@ impl GramCorpus {
             ..CorpusStats::default()
         };
         for entry in columns.values().filter_map(|cell| cell.get()) {
-            let column = match entry {
+            stats.column_attempts += entry.attempts;
+            let column = match &entry.result {
                 Ok(column) => column,
                 Err(_) => {
                     stats.columns_failed += 1;
@@ -396,14 +645,16 @@ impl GramCorpus {
             };
             stats.columns_interned += 1;
             for built in fault::lock_recover(&column.stats).values() {
-                match built {
+                stats.stats_attempts += built.attempts;
+                match &built.result {
                     Ok(_) => stats.stats_built += 1,
                     Err(_) => stats.stats_failed += 1,
                 }
             }
             stats.stats_hits += column.stats_hits.load(Ordering::Relaxed);
             for built in fault::lock_recover(&column.indexes).values() {
-                match built {
+                stats.index_attempts += built.attempts;
+                match &built.result {
                     Ok(_) => stats.indexes_built += 1,
                     Err(_) => stats.indexes_failed += 1,
                 }
@@ -412,6 +663,30 @@ impl GramCorpus {
         }
         stats
     }
+}
+
+/// Lifetime counters of a **resident corpus cache** (the `tjoin-serve`
+/// layer), reported next to [`CorpusStats`] on batch outcomes. Where
+/// `CorpusStats` snapshots the currently resident entries, `ServeStats`
+/// accumulates across evictions for the cache's whole lifetime; all
+/// counters are updated serially at request admission/release, so their
+/// values are deterministic for a given request sequence regardless of
+/// worker thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Distinct requested columns served from the resident cache.
+    pub hits: usize,
+    /// Distinct requested columns that were not resident (built during the
+    /// run that requested them).
+    pub misses: usize,
+    /// Columns newly retained by the cache after a run.
+    pub inserts: usize,
+    /// Entries evicted to satisfy the byte budget.
+    pub evictions: usize,
+    /// Approximate bytes currently resident (after the last release).
+    pub bytes_resident: usize,
+    /// Requests queued and not yet run at the time of the snapshot.
+    pub queue_depth: usize,
 }
 
 #[cfg(test)]
@@ -557,6 +832,156 @@ mod tests {
         );
         assert_ne!(column_fingerprint(&col(&["ab"])), column_fingerprint(&col(&["a", "b"])));
         assert_ne!(column_fingerprint(&[]), column_fingerprint(&col(&[""])));
+    }
+
+    #[test]
+    fn entry_bytes_grow_with_cached_artifacts() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let raw = col(&["abcdef", "abcxyz"]);
+        let fp = column_fingerprint(&raw);
+        let entry = corpus.column(&raw);
+        let base = entry.approximate_bytes();
+        assert!(base >= entry.normalized().approximate_bytes());
+        let _ = entry.stats(2, 4);
+        let with_stats = entry.approximate_bytes();
+        assert!(with_stats > base);
+        let _ = entry.index(2, 4);
+        let with_index = entry.approximate_bytes();
+        assert!(with_index > with_stats);
+        // The corpus-level accounting sees the same footprint.
+        assert_eq!(corpus.entry_bytes(fp), Some(with_index));
+        assert_eq!(corpus.resident_entries(), vec![(fp, with_index)]);
+        assert_eq!(corpus.resident_bytes(), with_index);
+        assert_eq!(corpus.entry_bytes(fp ^ 1), None);
+    }
+
+    #[test]
+    fn evict_then_reintern_bumps_generation() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let a = col(&["alpha", "beta"]);
+        let b = col(&["gamma"]);
+        let fp_a = column_fingerprint(&a);
+        let first = corpus.column(&a);
+        let kept = corpus.column(&b);
+        assert!(corpus.contains(fp_a));
+        let freed = corpus.evict(fp_a).expect("completed entry evicts");
+        assert!(freed > 0);
+        assert!(!corpus.contains(fp_a));
+        assert_eq!(corpus.entry_bytes(fp_a), None);
+        assert_eq!(corpus.evict(fp_a), None); // already gone
+        assert_eq!(corpus.column_count(), 1);
+        // Unrelated entries are untouched.
+        assert!(Arc::ptr_eq(&kept, &corpus.column(&b)));
+        // Re-interning rebuilds: a fresh entry under a strictly greater
+        // generation, with identical content (eviction never changes what
+        // a corpus serves, only when it is built).
+        let second = corpus.column(&a);
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert!(second.generation() > first.generation());
+        assert_eq!(first.normalized(), second.normalized());
+        // The stats snapshot covers resident entries only.
+        assert_eq!(corpus.stats().columns_interned, 2);
+    }
+
+    #[test]
+    fn attempts_counters_match_builds_without_faults() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        assert_eq!(corpus.retry_policy(), CorpusRetryPolicy::default());
+        let entry = corpus.column(&col(&["abcdef", "abcxyz"]));
+        let _ = entry.stats(2, 4);
+        let _ = entry.stats(3, 5);
+        let _ = entry.index(2, 4);
+        let stats = corpus.stats();
+        assert_eq!(stats.column_attempts, 1);
+        assert_eq!(stats.stats_attempts, 2);
+        assert_eq!(stats.index_attempts, 1);
+    }
+
+    #[test]
+    fn deterministic_failures_short_circuit_retry() {
+        use std::cell::Cell;
+        // A typed error is a pure function of the inputs: even a generous
+        // policy must not re-run the build.
+        let calls = Cell::new(0usize);
+        let policy = CorpusRetryPolicy::new(5, Duration::ZERO);
+        let (result, attempts) = build_with_retry::<CorpusColumn>(policy, "column", || {
+            calls.set(calls.get() + 1);
+            Err(CorpusFailure::from_arena(
+                "column",
+                ArenaError::RowCountOverflow { rows: 7 },
+            ))
+        });
+        assert!(result.is_err());
+        assert_eq!(attempts, 1);
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempt_policy_rejected() {
+        let _ = CorpusRetryPolicy::new(0, Duration::ZERO);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn transient_panic_recovers_under_retry() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let corpus = GramCorpus::with_retry(
+            NormalizeOptions::default(),
+            CorpusRetryPolicy::new(3, Duration::ZERO),
+        );
+        // Panic once, then succeed: the transient shape the retry policy
+        // exists for.
+        let plan =
+            FaultPlan::new().inject_limited(0, FaultSite::CorpusColumnBuild, FaultKind::Panic, 1);
+        let raw = col(&["abcdef", "abcxyz"]);
+        let entry = fault::with_pair_scope(&plan, 0, || corpus.try_column(&raw))
+            .expect("transient failure recovers");
+        assert_eq!(entry.normalized().cell(0), "abcdef");
+        let stats = corpus.stats();
+        assert_eq!(stats.columns_interned, 1);
+        assert_eq!(stats.columns_failed, 0);
+        assert_eq!(stats.column_attempts, 2); // one absorbed panic + success
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn exhausted_retries_stay_sticky() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let corpus = GramCorpus::with_retry(
+            NormalizeOptions::default(),
+            CorpusRetryPolicy::new(3, Duration::ZERO),
+        );
+        // Unlimited panic: every attempt fails, the failure goes sticky.
+        let plan = FaultPlan::new().inject(0, FaultSite::CorpusStatsBuild, FaultKind::Panic);
+        let entry = corpus.column(&col(&["abcdef", "abcxyz"]));
+        let failure =
+            fault::with_pair_scope(&plan, 0, || entry.try_stats(2, 4)).unwrap_err();
+        assert_eq!(failure.artifact, "stats");
+        // Sticky: a later call outside any fault scope observes the same
+        // recorded failure instead of rebuilding.
+        assert_eq!(entry.try_stats(2, 4).unwrap_err(), failure);
+        let stats = corpus.stats();
+        assert_eq!(stats.stats_failed, 1);
+        assert_eq!(stats.stats_attempts, 3); // every allowed attempt ran
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn slow_faults_are_absorbed_in_one_attempt() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let plan = FaultPlan::new().inject_limited(
+            0,
+            FaultSite::CorpusIndexBuild,
+            FaultKind::Slow(Duration::from_millis(1)),
+            1,
+        );
+        let entry = corpus.column(&col(&["abcdef"]));
+        let index = fault::with_pair_scope(&plan, 0, || entry.try_index(2, 3)).unwrap();
+        assert_eq!(index.row_count(), 1);
+        // Slowness is not failure: one attempt, nothing retried.
+        assert_eq!(corpus.stats().index_attempts, 1);
     }
 
     #[test]

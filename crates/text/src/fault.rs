@@ -61,6 +61,11 @@ pub enum FaultSite {
     /// The batch runner's per-pair report slot store (poison point of the
     /// slot lock).
     SlotStore,
+    /// Entry of a batch scheduler task, *outside* every guarded pipeline
+    /// phase — a panic here exercises the scheduler-level `catch_unwind`
+    /// backstop (`PairPhase::Scheduler`) and its elapsed-at-failure
+    /// attribution.
+    SchedulerTask,
 }
 
 impl fmt::Display for FaultSite {
@@ -81,12 +86,25 @@ pub enum FaultKind {
     PoisonLock,
 }
 
+/// One registered fault: `(pair, site, kind)` plus an optional *fire
+/// budget* — `None` fires on every visit (the original semantics),
+/// `Some(n)` fires on the first `n` visits of its scope and then goes
+/// inert, which is how transient failures ("panic once, then succeed")
+/// are modeled for the corpus retry policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FaultSpec {
+    pair: usize,
+    site: FaultSite,
+    kind: FaultKind,
+    budget: Option<usize>,
+}
+
 /// A deterministic injection plan: faults keyed by `(pair index, site)`.
 /// Plans are plain data and always available; they only *do* anything when
 /// executed under `feature = "fault-injection"` (see [`with_pair_scope`]).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
-    faults: Vec<(usize, FaultSite, FaultKind)>,
+    faults: Vec<FaultSpec>,
 }
 
 impl FaultPlan {
@@ -97,21 +115,39 @@ impl FaultPlan {
 
     /// Builder-style: injects `kind` when `pair` reaches `site`.
     pub fn inject(mut self, pair: usize, site: FaultSite, kind: FaultKind) -> Self {
-        self.faults.push((pair, site, kind));
+        self.faults.push(FaultSpec { pair, site, kind, budget: None });
         self
     }
 
-    /// The fault registered for `(pair, site)`, if any (first entry wins).
+    /// Builder-style: injects `kind` for the first `times` visits of
+    /// `(pair, site)` within one scope, then goes inert — the
+    /// fail-then-succeed shape the corpus retry policy's transient-recovery
+    /// gate injects. Fire counts are per [`with_pair_scope`] activation, so
+    /// the same plan replayed on a fresh scope fires again.
+    pub fn inject_limited(
+        mut self,
+        pair: usize,
+        site: FaultSite,
+        kind: FaultKind,
+        times: usize,
+    ) -> Self {
+        self.faults.push(FaultSpec { pair, site, kind, budget: Some(times) });
+        self
+    }
+
+    /// The fault registered for `(pair, site)`, if any (first entry wins,
+    /// ignoring fire budgets — this is the static plan lookup the batch
+    /// runner uses for slot poisoning, not the consuming scope lookup).
     pub fn fault_for(&self, pair: usize, site: FaultSite) -> Option<FaultKind> {
         self.faults
             .iter()
-            .find(|(p, s, _)| *p == pair && *s == site)
-            .map(|(_, _, k)| *k)
+            .find(|f| f.pair == pair && f.site == site)
+            .map(|f| f.kind)
     }
 
     /// The distinct pair indices the plan touches, ascending.
     pub fn faulted_pairs(&self) -> Vec<usize> {
-        let mut pairs: Vec<usize> = self.faults.iter().map(|(p, _, _)| *p).collect();
+        let mut pairs: Vec<usize> = self.faults.iter().map(|f| f.pair).collect();
         pairs.sort_unstable();
         pairs.dedup();
         pairs
@@ -120,7 +156,7 @@ impl FaultPlan {
     /// The distinct pair indices carrying a fault of `kind`, ascending.
     pub fn pairs_with_kind(&self, kind: FaultKind) -> Vec<usize> {
         let mut pairs: Vec<usize> =
-            self.faults.iter().filter(|(_, _, k)| *k == kind).map(|(p, _, _)| *p).collect();
+            self.faults.iter().filter(|f| f.kind == kind).map(|f| f.pair).collect();
         pairs.sort_unstable();
         pairs.dedup();
         pairs
@@ -179,9 +215,17 @@ mod active {
     use super::FaultPlan;
     use std::cell::RefCell;
 
+    /// The scope active on a thread: the pair index, the plan, and one
+    /// fire count per plan entry (consumed by budget-limited faults).
+    pub(super) struct Scope {
+        pub(super) pair: usize,
+        pub(super) plan: FaultPlan,
+        pub(super) fired: Vec<usize>,
+    }
+
     thread_local! {
-        /// The (pair index, plan) scope active on this thread, if any.
-        pub(super) static SCOPE: RefCell<Option<(usize, FaultPlan)>> = const { RefCell::new(None) };
+        /// The scope active on this thread, if any.
+        pub(super) static SCOPE: RefCell<Option<Scope>> = const { RefCell::new(None) };
     }
 
     /// RAII reset so an unwinding fault leaves no scope behind.
@@ -201,7 +245,13 @@ mod active {
 pub fn with_pair_scope<R>(plan: &FaultPlan, pair: usize, f: impl FnOnce() -> R) -> R {
     #[cfg(feature = "fault-injection")]
     {
-        active::SCOPE.with(|s| *s.borrow_mut() = Some((pair, plan.clone())));
+        active::SCOPE.with(|s| {
+            *s.borrow_mut() = Some(active::Scope {
+                pair,
+                plan: plan.clone(),
+                fired: vec![0; plan.faults.len()],
+            })
+        });
         let _guard = active::ScopeGuard;
         f()
     }
@@ -212,12 +262,36 @@ pub fn with_pair_scope<R>(plan: &FaultPlan, pair: usize, f: impl FnOnce() -> R) 
     }
 }
 
+/// Consuming scope lookup: the first `(pair, site)` entry whose fire budget
+/// is not yet exhausted. Unlimited entries (`budget: None`) always match;
+/// limited entries count this visit against their budget. `want_poison`
+/// selects the kind class — [`should_poison`] must only consume
+/// `PoisonLock` budgets and [`fire`] must only consume the rest, otherwise
+/// a lock-owning site's poison probe would silently eat a limited
+/// `Panic`/`Slow` fire before the build reaches it.
 #[cfg(feature = "fault-injection")]
-fn active_fault(site: FaultSite) -> Option<(usize, FaultKind)> {
+fn active_fault(site: FaultSite, want_poison: bool) -> Option<(usize, FaultKind)> {
     active::SCOPE.with(|s| {
-        s.borrow()
-            .as_ref()
-            .and_then(|(pair, plan)| plan.fault_for(*pair, site).map(|kind| (*pair, kind)))
+        let mut scope = s.borrow_mut();
+        let scope = scope.as_mut()?;
+        for i in 0..scope.plan.faults.len() {
+            let spec = scope.plan.faults[i]; // FaultSpec is Copy
+            if spec.pair != scope.pair || spec.site != site {
+                continue;
+            }
+            if (spec.kind == FaultKind::PoisonLock) != want_poison {
+                continue;
+            }
+            match spec.budget {
+                None => return Some((scope.pair, spec.kind)),
+                Some(budget) if scope.fired[i] < budget => {
+                    scope.fired[i] += 1;
+                    return Some((scope.pair, spec.kind));
+                }
+                Some(_) => {} // exhausted: fall through to later entries
+            }
+        }
+        None
     })
 }
 
@@ -230,7 +304,7 @@ fn active_fault(site: FaultSite) -> Option<(usize, FaultKind)> {
 pub fn fire(site: FaultSite) {
     #[cfg(feature = "fault-injection")]
     {
-        match active_fault(site) {
+        match active_fault(site, false) {
             Some((pair, FaultKind::Panic)) => {
                 panic!("injected panic at {site} (pair {pair})");
             }
@@ -249,7 +323,7 @@ pub fn fire(site: FaultSite) {
 pub fn should_poison(site: FaultSite) -> bool {
     #[cfg(feature = "fault-injection")]
     {
-        matches!(active_fault(site), Some((_, FaultKind::PoisonLock)))
+        matches!(active_fault(site, true), Some((_, FaultKind::PoisonLock)))
     }
     #[cfg(not(feature = "fault-injection"))]
     {
@@ -319,6 +393,32 @@ mod tests {
         assert_eq!(panic_message(&*payload), "injected panic at MatchPhase (pair 2)");
         // The scope was reset despite the unwind.
         fire(FaultSite::MatchPhase);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn limited_fault_fires_then_goes_inert_per_scope() {
+        let plan = FaultPlan::new().inject_limited(0, FaultSite::CorpusColumnBuild, FaultKind::Panic, 2);
+        // Static lookup ignores budgets.
+        assert_eq!(plan.fault_for(0, FaultSite::CorpusColumnBuild), Some(FaultKind::Panic));
+        let visits_until_quiet = || {
+            with_pair_scope(&plan, 0, || {
+                let mut fired = 0;
+                for _ in 0..5 {
+                    // Poison probes at the same site must not consume the
+                    // Panic budget (lock-owning sites probe before building).
+                    assert!(!should_poison(FaultSite::CorpusColumnBuild));
+                    if std::panic::catch_unwind(|| fire(FaultSite::CorpusColumnBuild)).is_err() {
+                        fired += 1;
+                    }
+                }
+                fired
+            })
+        };
+        // First scope: exactly the budgeted two visits panic, then inert.
+        assert_eq!(visits_until_quiet(), 2);
+        // A fresh scope re-arms the budget.
+        assert_eq!(visits_until_quiet(), 2);
     }
 
     #[cfg(feature = "fault-injection")]

@@ -85,6 +85,17 @@ impl ColumnStats {
         self.row_frequency.len()
     }
 
+    /// Estimated memory footprint of the stats map: per entry, the 8-byte
+    /// gram fingerprint, the 4-byte row count, and the same fixed hash-map
+    /// overhead estimate [`crate::index::NGramIndex::approximate_bytes`]
+    /// uses — the serving layer's per-column byte accounting sums this with
+    /// the arena and index footprints.
+    pub fn approximate_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.row_frequency.len()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 48)
+    }
+
     /// IRF of `gram` in this column (equation 1). Zero when the gram never
     /// occurs (so that unseen grams never look representative).
     pub fn irf(&self, gram: &str) -> f64 {
@@ -171,6 +182,18 @@ mod tests {
         assert!(rare > shared);
         // And within the target column alone, IRF of the shared suffix is lower.
         assert!(tgt.irf("@ua") < tgt.irf("owl"));
+    }
+
+    #[test]
+    fn approximate_bytes_tracks_distinct_grams() {
+        let small = ColumnStats::build(&["ab"], 2, 2);
+        let large = ColumnStats::build(&["abcdefgh", "ijklmnop"], 2, 4);
+        assert!(small.approximate_bytes() >= std::mem::size_of::<ColumnStats>());
+        assert!(large.approximate_bytes() > small.approximate_bytes());
+        // Identical content builds account identically (the serving layer's
+        // eviction bookkeeping relies on this being deterministic).
+        let again = ColumnStats::build(&["abcdefgh", "ijklmnop"], 2, 4);
+        assert_eq!(large.approximate_bytes(), again.approximate_bytes());
     }
 
     #[test]
