@@ -34,7 +34,7 @@ pub mod table;
 pub mod workload;
 
 pub use io::DatasetError;
-pub use repository::RepositoryConfig;
+pub use repository::{is_decoy, RepositoryConfig};
 pub use workload::{RequestWorkload, RequestWorkloadConfig};
 pub use synthetic::{SyntheticConfig, SyntheticDataset};
 pub use table::{row_id, ArenaPair, ColumnPair, Table, TablePair};

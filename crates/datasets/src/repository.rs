@@ -174,6 +174,17 @@ impl RepositoryConfig {
     }
 }
 
+/// Ground-truth decoy label for generated repositories: the non-joinable
+/// decoys are exactly the pairs with an *empty* golden mapping — joinable
+/// pairs always carry a full-length golden mapping, even for noise rows
+/// (noise caps attainable recall; it never empties the mapping). Discovery
+/// quality — shortlist recall over joinable pairs, precision against
+/// decoys — is measured against this label rather than the `-decoy` name
+/// suffix, so hand-built repositories get the same treatment.
+pub fn is_decoy(pair: &ColumnPair) -> bool {
+    pair.golden.is_empty()
+}
+
 fn random_person(rng: &mut StdRng) -> PersonName {
     let first = corpus::FIRST_NAMES[rng.gen_range(0..corpus::FIRST_NAMES.len())];
     let last = corpus::LAST_NAMES[rng.gen_range(0..corpus::LAST_NAMES.len())];
@@ -339,6 +350,14 @@ mod tests {
             } else {
                 assert_eq!(p.golden.len(), p.source.len());
             }
+        }
+    }
+
+    #[test]
+    fn decoy_label_matches_the_name_convention() {
+        let repo = RepositoryConfig::new(12, 10).with_decoys(0.25).generate(7);
+        for p in &repo {
+            assert_eq!(is_decoy(p), p.name.ends_with("-decoy"), "{}", p.name);
         }
     }
 

@@ -1,0 +1,684 @@
+//! # tjoin-discovery
+//!
+//! Repository-scale joinable-pair discovery: decide *which* column pairs
+//! are worth the expensive match→synthesize→join pipeline without running
+//! it. The batch and serve layers are handed their [`ColumnPair`]s; a real
+//! data lake has thousands of tables, and the O(tables²) pair space is
+//! what every query hits first (QJoin frames this as transformation-aware
+//! discovery with learned budgets; this crate is the deterministic
+//! cost-guided first cut that keeps the repo's differential-oracle
+//! discipline).
+//!
+//! ## Signature layout
+//!
+//! Discovery reads one [`ColumnSignature`] per column, computed once into
+//! the shared [`GramCorpus`] (`CorpusColumn::try_signature`) next to the
+//! stats and index artifacts — a resident corpus (`tjoin-serve`) therefore
+//! serves **warm discovery near-free**. A signature is two things:
+//!
+//! * the exact, sorted **anchor set**: fingerprints of every gram of size
+//!   exactly `n_min` in the normalized column, and
+//! * fixed-width **one-permutation MinHash lanes** (`SIGNATURE_WIDTH` ×
+//!   u64, one `mix64` per distinct gram) over the full `[n_min, n_max]`
+//!   gram-fingerprint stream of the column's stats.
+//!
+//! ## Shortlist scoring, and why recall is 1.0 by construction
+//!
+//! The n-gram matcher can only pair rows through a shared gram with size
+//! in `[n_min, n_max]`, and any shared gram of length `n ≥ n_min` contains
+//! a shared length-`n_min` substring. So **a pair whose anchor sets are
+//! disjoint cannot produce a single candidate row match** — pruning on
+//! `shared_anchors < min_anchor_overlap` (default 1) is *sound*, not
+//! heuristic, and the differential suite proves shortlist recall 1.0
+//! against the brute-force all-pairs oracle. The MinHash lanes are used
+//! only to *order* the surviving candidates (estimated gram overlap,
+//! [`ColumnSignature::estimated_overlap`]) — a score can be wrong without
+//! costing recall. [`SignatureIndex`] inverts the anchor sets so candidate
+//! generation probes shared anchors instead of scoring the full cross
+//! product; a brute-force scorer ([`discover_reference`]) is retained as
+//! the oracle and the two are bit-identical.
+//!
+//! ## Budget semantics
+//!
+//! Discovery itself is cheap (signatures are one pass per distinct column,
+//! amortized by the corpus); the budgets bound what runs *after* it:
+//!
+//! * [`DiscoveryConfig::top_k`] caps how many shortlisted pairs the full
+//!   pipeline is spent on — pairs cut by the cap are reported as
+//!   budget-pruned, separately from the provably-unjoinable prunes,
+//!   because cutting them *can* cost recall (the cap is an explicit
+//!   cost/recall trade the caller opts into; the default `None` keeps the
+//!   recall guarantee).
+//! * Raising [`DiscoveryConfig::min_anchor_overlap`] above 1 demands more
+//!   shared evidence per pair — same trade, same reporting.
+//! * The per-pair `RunBudget` / work-stealing machinery of the batch
+//!   runner applies unchanged to the shortlisted pairs
+//!   (`BatchJoinRunner::discover_and_run` in `tjoin-join`).
+//!
+//! ## Oracle discipline
+//!
+//! Three retained oracles lock the layer down differentially:
+//! [`discover_reference`] (brute-force pairwise anchor intersection, must
+//! be bit-identical to the indexed path), the small-scale brute-force
+//! all-pairs *pipeline* run (every pair the pipeline can join must be
+//! shortlisted — recall 1.0), and running the shortlist's pair list
+//! through the plain batch runner (end-to-end `discover_and_run` outcomes
+//! must be bit-identical to it). A column whose signature build fails is
+//! **conservatively retained** — discovery can only prune what it can
+//! prove, and a sticky corpus failure proves nothing.
+//!
+//! The anchor fingerprints feeding [`SignatureIndex`] carry the same
+//! debug-build shadow-map collision guard the `NGramIndex` posting keys
+//! use (`tjoin_text::CollisionGuard`, applied at signature build where the
+//! gram text is still in hand, with a forced-collision regression test).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tjoin_datasets::ColumnPair;
+use tjoin_text::{
+    chunk_map, ColumnSignature, CorpusFailure, FxHashMap, GramCorpus, NormalizeOptions,
+};
+
+/// Configuration of a discovery pass. `n_min`/`n_max`/`normalize` must
+/// match the matcher configuration the shortlisted pairs will run under —
+/// the recall guarantee is relative to *that* matcher's gram range
+/// (`BatchJoinRunner::discover_and_run` asserts the equality).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// Smallest gram size of the matcher the shortlist feeds; also the
+    /// anchor gram size.
+    pub n_min: usize,
+    /// Largest gram size of the matcher the shortlist feeds.
+    pub n_max: usize,
+    /// Normalization applied before signing (must equal the matcher's).
+    pub normalize: NormalizeOptions,
+    /// Minimum shared anchors for a pair to survive. The default 1 is the
+    /// sound setting (recall 1.0); higher values trade recall for cost.
+    pub min_anchor_overlap: usize,
+    /// Optional cap on the shortlist length (best-scored pairs kept).
+    /// `None` (the default) keeps every survivor — the recall-preserving
+    /// setting; a cap is an explicit cost/recall trade.
+    pub top_k: Option<usize>,
+    /// Worker threads for the signature-building pass (1 = sequential).
+    /// Signatures are pure per-column functions, so output is
+    /// bit-identical at any value.
+    pub threads: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        Self {
+            n_min: 4,
+            n_max: 20,
+            normalize: NormalizeOptions::default(),
+            min_anchor_overlap: 1,
+            top_k: None,
+            threads: 1,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// The paper-default gram range (`n0 = 4`, `nmax = 20`) with the
+    /// recall-preserving pruning settings.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style setter for the thread count (clamped to at least one).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style setter for the shortlist cap.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = Some(top_k);
+        self
+    }
+}
+
+/// A shortlisted source × target column combination with its evidence:
+/// the exact shared-anchor count (why it survived pruning — the
+/// explainability hook GXJoin argues for) and the MinHash overlap estimate
+/// (why it is ranked where it is).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairCandidate {
+    /// Index into the source signature slice.
+    pub source: u32,
+    /// Index into the target signature slice.
+    pub target: u32,
+    /// Exact size of the anchor-set intersection (≥ the configured
+    /// minimum).
+    pub shared_anchors: usize,
+    /// MinHash-estimated shared distinct grams across the full size range
+    /// (the ranking score).
+    pub estimated_overlap: f64,
+}
+
+/// The result of scoring a source × target signature cross product:
+/// surviving candidates in rank order plus the size of the space they were
+/// pruned from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shortlist {
+    /// Survivors, ordered by (estimated overlap desc, shared anchors desc,
+    /// (source, target) asc) — deterministic and thread-invariant.
+    pub candidates: Vec<PairCandidate>,
+    /// Total combinations considered (`sources × targets`).
+    pub considered: usize,
+}
+
+impl Shortlist {
+    /// Combinations pruned (provably-unjoinable plus any `top_k` cut).
+    pub fn pruned(&self) -> usize {
+        self.considered - self.candidates.len()
+    }
+
+    /// Fraction of the pair space pruned (0 when nothing was considered).
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.considered == 0 {
+            return 0.0;
+        }
+        self.pruned() as f64 / self.considered as f64
+    }
+}
+
+/// Inverted index over anchor fingerprints: anchor → the (ascending)
+/// target-column ids whose signatures contain it. Probing a source
+/// signature walks its anchors' posting lists and counts hits per target —
+/// exactly the pairwise sorted-merge intersection [`discover_reference`]
+/// computes, reorganized so targets sharing nothing are never visited.
+///
+/// The index keys are the signature anchor fingerprints, which were
+/// checked against gram-text collisions by the debug shadow map at
+/// signature build time (see the crate docs) — the same guard discipline
+/// as the `NGramIndex` posting keys.
+#[derive(Debug, Default)]
+pub struct SignatureIndex {
+    postings: FxHashMap<u64, Vec<u32>>,
+    columns: usize,
+}
+
+impl SignatureIndex {
+    /// Builds the index over `targets`, identified by their slice position.
+    /// Posting lists are ascending by construction (columns are inserted
+    /// in order).
+    pub fn build(targets: &[Arc<ColumnSignature>]) -> Self {
+        let mut postings: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for (id, signature) in targets.iter().enumerate() {
+            // Column counts were checked at ingest (`assert_row_indexable`
+            // / `checked_row_count`); a repository of more than u32::MAX
+            // *columns* is far beyond that and cannot round-trip ids.
+            let id = u32::try_from(id).expect("more than u32::MAX target columns");
+            for &anchor in signature.anchors() {
+                postings.entry(anchor).or_default().push(id);
+            }
+        }
+        Self { postings, columns: targets.len() }
+    }
+
+    /// Number of indexed target columns.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Number of distinct anchors indexed.
+    pub fn distinct_anchors(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Exact shared-anchor counts between `probe` and every indexed target
+    /// that shares at least one anchor, as `(target id, shared)` pairs in
+    /// ascending target order. Targets sharing nothing are absent — the
+    /// pruning this index exists for.
+    pub fn shared_anchor_counts(&self, probe: &ColumnSignature) -> Vec<(u32, usize)> {
+        let mut counts = vec![0usize; self.columns];
+        for anchor in probe.anchors() {
+            if let Some(targets) = self.postings.get(anchor) {
+                for &target in targets {
+                    counts[target as usize] += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, shared)| *shared > 0)
+            .map(|(target, shared)| (target as u32, shared))
+            .collect()
+    }
+}
+
+/// Ranks candidates deterministically: estimated overlap descending, then
+/// shared anchors descending, then (source, target) ascending. `f64`
+/// scores are compared by total order; every score is computed by the same
+/// pure expression on both discovery paths, so the rank is bit-identical
+/// between them and across thread counts.
+fn rank(candidates: &mut Vec<PairCandidate>, top_k: Option<usize>) {
+    candidates.sort_by(|a, b| {
+        b.estimated_overlap
+            .total_cmp(&a.estimated_overlap)
+            .then(b.shared_anchors.cmp(&a.shared_anchors))
+            .then(a.source.cmp(&b.source))
+            .then(a.target.cmp(&b.target))
+    });
+    if let Some(k) = top_k {
+        candidates.truncate(k);
+    }
+}
+
+/// Prunes and ranks the `sources` × `targets` pair space through a
+/// [`SignatureIndex`] over the targets. Bit-identical to
+/// [`discover_reference`] (the retained brute-force oracle) by the
+/// differential suite; only wall-clock differs.
+pub fn discover(
+    sources: &[Arc<ColumnSignature>],
+    targets: &[Arc<ColumnSignature>],
+    config: &DiscoveryConfig,
+) -> Shortlist {
+    let index = SignatureIndex::build(targets);
+    let mut candidates = Vec::new();
+    for (source_id, source) in sources.iter().enumerate() {
+        let source_id = u32::try_from(source_id).expect("more than u32::MAX source columns");
+        for (target_id, shared) in index.shared_anchor_counts(source) {
+            if shared >= config.min_anchor_overlap.max(1) {
+                candidates.push(PairCandidate {
+                    source: source_id,
+                    target: target_id,
+                    shared_anchors: shared,
+                    estimated_overlap: source.estimated_overlap(&targets[target_id as usize]),
+                });
+            }
+        }
+    }
+    rank(&mut candidates, config.top_k);
+    Shortlist { candidates, considered: sources.len() * targets.len() }
+}
+
+/// The brute-force discovery oracle: every source × target combination
+/// scored by direct sorted-merge anchor intersection, no index. Retained
+/// as the differential reference for [`discover`].
+pub fn discover_reference(
+    sources: &[Arc<ColumnSignature>],
+    targets: &[Arc<ColumnSignature>],
+    config: &DiscoveryConfig,
+) -> Shortlist {
+    let mut candidates = Vec::new();
+    for (source_id, source) in sources.iter().enumerate() {
+        let source_id = u32::try_from(source_id).expect("more than u32::MAX source columns");
+        for (target_id, target) in targets.iter().enumerate() {
+            let shared = source.shared_anchors(target);
+            if shared >= config.min_anchor_overlap.max(1) {
+                candidates.push(PairCandidate {
+                    source: source_id,
+                    target: u32::try_from(target_id).expect("more than u32::MAX target columns"),
+                    shared_anchors: shared,
+                    estimated_overlap: source.estimated_overlap(target),
+                });
+            }
+        }
+    }
+    rank(&mut candidates, config.top_k);
+    Shortlist { candidates, considered: sources.len() * targets.len() }
+}
+
+/// Interns `cells` into `corpus` and returns its cached discovery
+/// signature for the config's gram range — the per-column primitive both
+/// the repository shortlister and the bench's cross-product legs use.
+pub fn corpus_signature(
+    corpus: &GramCorpus,
+    cells: &[String],
+    config: &DiscoveryConfig,
+) -> Result<Arc<ColumnSignature>, CorpusFailure> {
+    corpus.try_column_on(cells)?.try_signature(config.n_min, config.n_max)
+}
+
+/// One retained entry of a [`RepositoryShortlist`]: the repository index
+/// and name of the surviving pair plus its evidence. `signature_failed`
+/// marks conservative retention — a sticky corpus failure on either column
+/// proves nothing, so the pair runs (and its evidence fields are zero).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredPair {
+    /// Index into the repository slice the shortlist was built from.
+    pub index: usize,
+    /// The pair's name.
+    pub name: String,
+    /// Exact shared anchors between the pair's columns (0 when
+    /// `signature_failed`).
+    pub shared_anchors: usize,
+    /// MinHash-estimated shared distinct grams (0 when `signature_failed`).
+    pub estimated_overlap: f64,
+    /// True when a signature build failed and the pair was retained
+    /// conservatively instead of scored.
+    pub signature_failed: bool,
+}
+
+/// A pruned entry of a [`RepositoryShortlist`]: index and name only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrunedPair {
+    /// Index into the repository slice.
+    pub index: usize,
+    /// The pair's name.
+    pub name: String,
+}
+
+/// The discovery verdict over a repository's pair list: which pairs the
+/// full pipeline should be spent on (in rank order), which were provably
+/// pruned, and which a `top_k` budget cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepositoryShortlist {
+    /// Retained pairs in run order: scored survivors ranked by (estimated
+    /// overlap desc, shared anchors desc, index asc), then conservatively
+    /// retained signature-failure pairs in index order.
+    pub ranked: Vec<ScoredPair>,
+    /// Pairs with fewer than `min_anchor_overlap` shared anchors — at the
+    /// default minimum of 1, *provably* unjoinable under the matcher the
+    /// config mirrors. In index order.
+    pub pruned: Vec<PrunedPair>,
+    /// Scored survivors cut by the `top_k` cap (empty without a cap) — a
+    /// budget decision, not a proof, reported separately. In rank order.
+    pub pruned_by_budget: Vec<PrunedPair>,
+    /// Repository size the shortlist was built from.
+    pub considered: usize,
+}
+
+impl RepositoryShortlist {
+    /// Fraction of the repository's pairs not run (0 on an empty
+    /// repository).
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.considered == 0 {
+            return 0.0;
+        }
+        (self.pruned.len() + self.pruned_by_budget.len()) as f64 / self.considered as f64
+    }
+
+    /// A shortlist that retains every pair unscored, in input order — the
+    /// degenerate verdict for matching strategies discovery cannot reason
+    /// about (golden row pairs need no shared text).
+    pub fn retain_all(repository: &[ColumnPair]) -> Self {
+        Self {
+            ranked: repository
+                .iter()
+                .enumerate()
+                .map(|(index, pair)| ScoredPair {
+                    index,
+                    name: pair.name.clone(),
+                    shared_anchors: 0,
+                    estimated_overlap: 0.0,
+                    signature_failed: false,
+                })
+                .collect(),
+            pruned: Vec::new(),
+            pruned_by_budget: Vec::new(),
+            considered: repository.len(),
+        }
+    }
+}
+
+/// Per-pair signature evidence, before the serial rank/prune pass.
+struct PairEvidence {
+    shared: usize,
+    overlap: f64,
+    failed: bool,
+}
+
+/// Shortlists a repository's pair list: signs every column through
+/// `corpus` (signature builds parallelized over `config.threads`; pure
+/// per-column work, so the result is thread-invariant), prunes pairs whose
+/// columns share fewer than `min_anchor_overlap` anchors, ranks the
+/// survivors, and applies the `top_k` budget. Signature failures retain
+/// conservatively (see [`ScoredPair::signature_failed`]).
+pub fn shortlist_repository(
+    repository: &[ColumnPair],
+    corpus: &GramCorpus,
+    config: &DiscoveryConfig,
+) -> RepositoryShortlist {
+    assert_eq!(
+        corpus.options(),
+        &config.normalize,
+        "discovery corpus must normalize like the discovery config"
+    );
+    let evidence: Vec<PairEvidence> = chunk_map(repository, config.threads.max(1), |pair| {
+        let scored = corpus_signature(corpus, &pair.source, config).and_then(|source| {
+            corpus_signature(corpus, &pair.target, config).map(|target| (source, target))
+        });
+        match scored {
+            Ok((source, target)) => PairEvidence {
+                shared: source.shared_anchors(&target),
+                overlap: source.estimated_overlap(&target),
+                failed: false,
+            },
+            Err(_) => PairEvidence { shared: 0, overlap: 0.0, failed: true },
+        }
+    });
+
+    let mut scored: Vec<ScoredPair> = Vec::new();
+    let mut retained_failures: Vec<ScoredPair> = Vec::new();
+    let mut pruned: Vec<PrunedPair> = Vec::new();
+    for (index, (pair, evidence)) in repository.iter().zip(&evidence).enumerate() {
+        let entry = ScoredPair {
+            index,
+            name: pair.name.clone(),
+            shared_anchors: evidence.shared,
+            estimated_overlap: evidence.overlap,
+            signature_failed: evidence.failed,
+        };
+        if evidence.failed {
+            retained_failures.push(entry);
+        } else if evidence.shared >= config.min_anchor_overlap.max(1) {
+            scored.push(entry);
+        } else {
+            pruned.push(PrunedPair { index, name: pair.name.clone() });
+        }
+    }
+    scored.sort_by(|a, b| {
+        b.estimated_overlap
+            .total_cmp(&a.estimated_overlap)
+            .then(b.shared_anchors.cmp(&a.shared_anchors))
+            .then(a.index.cmp(&b.index))
+    });
+    let mut pruned_by_budget = Vec::new();
+    if let Some(k) = config.top_k {
+        pruned_by_budget = scored
+            .split_off(k.min(scored.len()))
+            .into_iter()
+            .map(|entry| PrunedPair { index: entry.index, name: entry.name })
+            .collect();
+    }
+    scored.extend(retained_failures);
+    RepositoryShortlist {
+        ranked: scored,
+        pruned,
+        pruned_by_budget,
+        considered: repository.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tjoin_text::ColumnStats;
+
+    fn sig(rows: &[&str]) -> Arc<ColumnSignature> {
+        let rows: Vec<String> = rows.iter().map(|r| r.to_lowercase()).collect();
+        let stats = ColumnStats::build(&rows, 4, 8);
+        Arc::new(ColumnSignature::build(rows.as_slice(), &stats, 4))
+    }
+
+    fn cfg() -> DiscoveryConfig {
+        DiscoveryConfig { n_max: 8, ..DiscoveryConfig::default() }
+    }
+
+    fn pair(name: &str, source: &[&str], target: &[&str]) -> ColumnPair {
+        ColumnPair {
+            name: name.to_string(),
+            source: source.iter().map(|s| s.to_string()).collect(),
+            target: target.iter().map(|s| s.to_string()).collect(),
+            golden: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn index_matches_reference_on_a_mixed_repository() {
+        let sources = vec![
+            sig(&["davood rafiei", "mario nascimento"]),
+            sig(&["completely different content"]),
+            sig(&[]),
+        ];
+        let targets = vec![
+            sig(&["drafiei", "mnascimento"]),
+            sig(&["davood", "mario"]),
+            sig(&["zzzz yyyy xxxx"]),
+        ];
+        let fast = discover(&sources, &targets, &cfg());
+        let slow = discover_reference(&sources, &targets, &cfg());
+        assert_eq!(fast, slow);
+        assert_eq!(fast.considered, 9);
+        assert!(fast.pruned() > 0, "disjoint combos must be pruned");
+        for candidate in &fast.candidates {
+            assert!(candidate.shared_anchors >= 1);
+        }
+    }
+
+    #[test]
+    fn rank_is_deterministic_and_overlap_ordered() {
+        let sources = vec![sig(&["shared-anchor-text plus lots of extra grams here"])];
+        let targets = vec![
+            sig(&["shared-anchor-text plus lots of extra grams here"]),
+            sig(&["shared-anchor-text"]),
+        ];
+        let shortlist = discover(&sources, &targets, &cfg());
+        assert_eq!(shortlist.candidates.len(), 2);
+        // The identical column shares every gram; it must outrank the
+        // partial overlap.
+        assert_eq!(shortlist.candidates[0].target, 0);
+        assert!(
+            shortlist.candidates[0].estimated_overlap
+                >= shortlist.candidates[1].estimated_overlap
+        );
+    }
+
+    #[test]
+    fn top_k_caps_the_shortlist() {
+        let sources = vec![sig(&["aaaa bbbb cccc dddd"])];
+        let targets = vec![
+            sig(&["aaaa bbbb cccc dddd"]),
+            sig(&["aaaa bbbb"]),
+            sig(&["aaaa"]),
+        ];
+        let capped = discover(&sources, &targets, &cfg().with_top_k(1));
+        assert_eq!(capped.candidates.len(), 1);
+        assert_eq!(capped.candidates[0].target, 0);
+        assert_eq!(capped.pruned(), 2);
+    }
+
+    #[test]
+    fn empty_inputs_are_degenerate_not_fatal() {
+        let none: Vec<Arc<ColumnSignature>> = Vec::new();
+        let some = vec![sig(&["abcdef"])];
+        assert_eq!(discover(&none, &some, &cfg()).considered, 0);
+        assert_eq!(discover(&some, &none, &cfg()).candidates.len(), 0);
+        assert_eq!(discover(&none, &none, &cfg()).pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn shortlist_repository_prunes_disjoint_pairs_only() {
+        let repository = vec![
+            pair("joinable", &["davood rafiei"], &["drafiei"]),
+            pair("disjoint", &["aaaaaaaa"], &["bbbbbbbb"]),
+            pair("identical", &["mario nascimento"], &["mario nascimento"]),
+        ];
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let config = DiscoveryConfig { n_max: 20, ..DiscoveryConfig::default() };
+        let shortlist = shortlist_repository(&repository, &corpus, &config);
+        assert_eq!(shortlist.considered, 3);
+        assert_eq!(shortlist.pruned.len(), 1);
+        assert_eq!(shortlist.pruned[0].name, "disjoint");
+        assert!(shortlist.pruned_by_budget.is_empty());
+        let names: Vec<&str> = shortlist.ranked.iter().map(|s| s.name.as_str()).collect();
+        // The identical pair shares everything and must outrank the
+        // partial-overlap pair.
+        assert_eq!(names, vec!["identical", "joinable"]);
+        assert!((shortlist.pruning_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        // Thread-invariance of the signing pass.
+        for threads in [2, 4] {
+            let threaded = shortlist_repository(
+                &repository,
+                &GramCorpus::new(NormalizeOptions::default()),
+                &config.clone().with_threads(threads),
+            );
+            assert_eq!(threaded, shortlist);
+        }
+    }
+
+    #[test]
+    fn shortlist_repository_warm_pass_hits_the_signature_cache() {
+        let repository = vec![
+            pair("a", &["davood rafiei"], &["drafiei"]),
+            pair("b", &["davood rafiei"], &["mnascimento"]),
+        ];
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let config = DiscoveryConfig::paper_default();
+        let cold = shortlist_repository(&repository, &corpus, &config);
+        let built = corpus.stats();
+        // 3 distinct columns (the source is shared): 3 signature builds.
+        assert_eq!(built.signatures_built, 3);
+        let warm = shortlist_repository(&repository, &corpus, &config);
+        assert_eq!(warm, cold);
+        let hits = corpus.stats();
+        assert_eq!(hits.signatures_built, 3, "warm pass builds nothing");
+        assert!(hits.signature_hits >= 4, "warm pass is served from cache");
+    }
+
+    /// An injected signature-build failure must *retain* every affected
+    /// pair (discovery prunes only what it can prove) and report the
+    /// failure through the corpus counters.
+    #[test]
+    #[cfg(feature = "fault-injection")]
+    fn injected_signature_failures_retain_conservatively() {
+        use tjoin_text::fault::with_pair_scope;
+        use tjoin_text::{FaultKind, FaultPlan, FaultSite};
+        let repository = vec![
+            pair("joinable", &["davood rafiei"], &["drafiei"]),
+            pair("disjoint", &["aaaaaaaa"], &["bbbbbbbb"]),
+        ];
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        // Unlimited fire budget: every signature build inside the scope
+        // fails, exhausting the retry policy into a sticky failure.
+        let plan =
+            FaultPlan::new().inject(0, FaultSite::CorpusSignatureBuild, FaultKind::Panic);
+        let config = DiscoveryConfig::paper_default(); // threads = 1: in-scope builds
+        let faulted =
+            with_pair_scope(&plan, 0, || shortlist_repository(&repository, &corpus, &config));
+        assert_eq!(faulted.ranked.len(), 2, "failed signatures retain every pair");
+        assert!(faulted.ranked.iter().all(|entry| entry.signature_failed));
+        assert!(faulted.pruned.is_empty());
+        assert!(corpus.stats().signatures_failed > 0);
+        // The failures are sticky, so a fault-free rerun on the same corpus
+        // still retains; a fresh corpus prunes the disjoint pair again.
+        let sticky = shortlist_repository(&repository, &corpus, &config);
+        assert_eq!(sticky.ranked.len(), 2);
+        let fresh = shortlist_repository(
+            &repository,
+            &GramCorpus::new(NormalizeOptions::default()),
+            &config,
+        );
+        assert_eq!(fresh.pruned.len(), 1);
+    }
+
+    #[test]
+    fn retain_all_keeps_input_order() {
+        let repository = vec![
+            pair("x", &["a"], &["b"]),
+            pair("y", &["c"], &["d"]),
+        ];
+        let all = RepositoryShortlist::retain_all(&repository);
+        assert_eq!(all.ranked.len(), 2);
+        assert_eq!(all.ranked[0].name, "x");
+        assert_eq!(all.ranked[1].name, "y");
+        assert_eq!(all.pruning_ratio(), 0.0);
+    }
+}

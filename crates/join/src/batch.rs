@@ -68,6 +68,19 @@
 //! metrics still cover *all* reports (a failed pair contributes its empty
 //! prediction, exactly as the static oracle sees it).
 //!
+//! # Discovery-first runs
+//!
+//! [`BatchJoinRunner::discover_and_run`] puts the signature shortlister
+//! (`tjoin-discovery`) in front of the pipeline: every column is signed
+//! once into the run's gram corpus (the attached resident corpus when one
+//! exists — warm discovery is then served straight from cache), pairs
+//! whose anchor sets prove them unjoinable are pruned, and the existing
+//! work-stealing/budget machinery runs only the ranked survivors. The
+//! batch outcome is bit-identical to calling [`BatchJoinRunner::run`] on
+//! the shortlisted sublist directly (the discovery differential suite
+//! enforces this); under [`RowMatchingStrategy::Golden`] discovery proves
+//! nothing and every pair is retained.
+//!
 //! The `fault-injection` feature compiles in the deterministic
 //! [`FaultPlan`](tjoin_text::FaultPlan) harness
 //! ([`BatchJoinRunner::run_with_faults`]): named injection points keyed by
@@ -86,6 +99,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tjoin_datasets::ColumnPair;
+use tjoin_discovery::{shortlist_repository, DiscoveryConfig, RepositoryShortlist};
 use tjoin_text::{
     fault, CorpusStats, FaultKind, FaultPlan, FaultSite, GramCorpus, RunBudget, ServeStats,
 };
@@ -203,6 +217,21 @@ pub struct BatchJoinOutcome {
     pub serve: Option<ServeStats>,
 }
 
+/// The result of a discovery-first batch run
+/// ([`BatchJoinRunner::discover_and_run`]): the discovery verdict plus the
+/// batch outcome over exactly the shortlisted pairs. The shortlist's
+/// `ranked` order *is* the report order of `outcome` — report `i` is the
+/// pair `shortlist.ranked[i]` names.
+#[derive(Debug, Clone)]
+pub struct DiscoveredBatchOutcome {
+    /// Which pairs ran, which were provably pruned, and which a `top_k`
+    /// budget cut (see [`RepositoryShortlist`]).
+    pub shortlist: RepositoryShortlist,
+    /// The batch outcome over the shortlisted sublist, bit-identical to
+    /// [`BatchJoinRunner::run`] on that sublist.
+    pub outcome: BatchJoinOutcome,
+}
+
 /// Drives the per-pair join pipeline across a repository of column pairs
 /// under a shared thread budget (see the module docs).
 #[derive(Debug, Clone)]
@@ -272,7 +301,71 @@ impl BatchJoinRunner {
     /// bit-identical to [`Self::run_static`] — and to running the per-pair
     /// pipeline directly — at any thread budget.
     pub fn run(&self, repository: &[ColumnPair]) -> BatchJoinOutcome {
-        self.run_inner(repository, None)
+        self.run_inner(repository, None, None)
+    }
+
+    /// Discovery-first run: signs every column of `repository` into the
+    /// run's corpus, prunes pairs whose anchor sets prove them unjoinable
+    /// (see the `tjoin-discovery` crate docs — recall 1.0 at the default
+    /// settings), and spends the full pipeline only on the ranked
+    /// shortlist under the runner's existing thread/`RunBudget` machinery.
+    /// The embedded [`BatchJoinOutcome`] is bit-identical to
+    /// [`Self::run`] over the shortlisted sublist.
+    ///
+    /// The discovery config's gram range and normalization must equal the
+    /// runner's matcher configuration — the recall guarantee is relative
+    /// to that matcher. Under [`RowMatchingStrategy::Golden`] (golden row
+    /// pairs need no shared text) every pair is retained unscored.
+    pub fn discover_and_run(
+        &self,
+        repository: &[ColumnPair],
+        discovery: &DiscoveryConfig,
+    ) -> DiscoveredBatchOutcome {
+        let ngram = match &self.config.matching {
+            RowMatchingStrategy::NGram(cfg) => cfg,
+            RowMatchingStrategy::Golden => {
+                return DiscoveredBatchOutcome {
+                    shortlist: RepositoryShortlist::retain_all(repository),
+                    outcome: self.run_inner(repository, None, None),
+                };
+            }
+        };
+        assert_eq!(
+            (discovery.n_min, discovery.n_max),
+            (ngram.n_min, ngram.n_max),
+            "discovery gram range must equal the matcher's (the recall guarantee is relative to it)"
+        );
+        assert_eq!(
+            discovery.normalize, ngram.normalize,
+            "discovery must normalize like the matcher"
+        );
+        // Sign into the resident corpus when one is attached (warm
+        // discovery is then a pure cache read); otherwise one owned corpus
+        // serves both the discovery pass and the pipeline run, so nothing
+        // is normalized twice.
+        let owned;
+        let corpus: &GramCorpus = match &self.corpus {
+            Some(shared) => {
+                assert_eq!(
+                    shared.options(),
+                    &ngram.normalize,
+                    "shared corpus must normalize like the runner's matcher config"
+                );
+                shared.as_ref()
+            }
+            None => {
+                owned = GramCorpus::new(ngram.normalize);
+                &owned
+            }
+        };
+        let shortlist = shortlist_repository(repository, corpus, discovery);
+        let sublist: Vec<ColumnPair> = shortlist
+            .ranked
+            .iter()
+            .map(|entry| repository[entry.index].clone())
+            .collect();
+        let outcome = self.run_inner(&sublist, None, Some(corpus));
+        DiscoveredBatchOutcome { shortlist, outcome }
     }
 
     /// [`Self::run`] under a deterministic [`FaultPlan`]: each worker sets
@@ -283,10 +376,20 @@ impl BatchJoinRunner {
     /// carry no injection code.
     #[cfg(feature = "fault-injection")]
     pub fn run_with_faults(&self, repository: &[ColumnPair], plan: &FaultPlan) -> BatchJoinOutcome {
-        self.run_inner(repository, Some(plan))
+        self.run_inner(repository, Some(plan), None)
     }
 
-    fn run_inner(&self, repository: &[ColumnPair], plan: Option<&FaultPlan>) -> BatchJoinOutcome {
+    /// `warm` is a pre-signed corpus the discovery pass already built —
+    /// it takes priority over the runner's own corpus selection so a
+    /// discovery-first run never normalizes a column twice. Results are
+    /// unaffected either way (every corpus artifact is a pure function of
+    /// cells/options/range); only counters and wall-clock differ.
+    fn run_inner(
+        &self,
+        repository: &[ColumnPair],
+        plan: Option<&FaultPlan>,
+        warm: Option<&GramCorpus>,
+    ) -> BatchJoinOutcome {
         if repository.is_empty() {
             return BatchJoinOutcome {
                 reports: Vec::new(),
@@ -307,8 +410,16 @@ impl BatchJoinRunner {
         // dropped at the end — the original one-shot behaviour.
         let mut owned: Option<GramCorpus> = None;
         let corpus: Option<&GramCorpus> = match &self.config.matching {
-            RowMatchingStrategy::NGram(cfg) => match &self.corpus {
-                Some(shared) => {
+            RowMatchingStrategy::NGram(cfg) => match (warm, &self.corpus) {
+                (Some(prewarmed), _) => {
+                    assert_eq!(
+                        prewarmed.options(),
+                        &cfg.normalize,
+                        "discovery corpus must normalize like the runner's matcher config"
+                    );
+                    Some(prewarmed)
+                }
+                (None, Some(shared)) => {
                     assert_eq!(
                         shared.options(),
                         &cfg.normalize,
@@ -316,7 +427,7 @@ impl BatchJoinRunner {
                     );
                     Some(shared.as_ref())
                 }
-                None => Some(owned.insert(GramCorpus::new(cfg.normalize))),
+                (None, None) => Some(owned.insert(GramCorpus::new(cfg.normalize))),
             },
             RowMatchingStrategy::Golden => None,
         };
@@ -423,6 +534,10 @@ impl BatchJoinRunner {
             });
             reports = Vec::with_capacity(repository.len());
             for slot in slots {
+                // Invariant is local (audited): the atomic cursor hands out
+                // every task index exactly once, each claimant fills its
+                // slot before returning, and worker panics were already
+                // re-raised above — so no slot can still be `None` here.
                 let report = slot
                     .into_inner()
                     .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -609,6 +724,70 @@ mod tests {
         assert_eq!(a.metrics.micro, b.metrics.micro);
         assert_eq!(a.metrics.macro_f1, b.metrics.macro_f1);
         assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn discover_and_run_prunes_the_decoy_and_matches_the_plain_run() {
+        let config = JoinPipelineConfig::paper_default();
+        let mut repository = small_repository();
+        repository.push(decoy_pair());
+        let discovery = DiscoveryConfig::paper_default();
+        let runner = BatchJoinRunner::new(config.clone(), 2);
+        let discovered = runner.discover_and_run(&repository, &discovery);
+        // The decoy shares no 4-gram with its target: provably pruned.
+        assert_eq!(discovered.shortlist.pruned.len(), 1);
+        assert_eq!(discovered.shortlist.pruned[0].name, "decoy");
+        assert_eq!(discovered.shortlist.ranked.len(), 2);
+        assert!(discovered.shortlist.ranked.iter().all(|s| !s.signature_failed));
+        // Bit-identity with the plain runner over the shortlisted sublist.
+        let sublist: Vec<ColumnPair> = discovered
+            .shortlist
+            .ranked
+            .iter()
+            .map(|entry| repository[entry.index].clone())
+            .collect();
+        let oracle = runner.run(&sublist);
+        assert_outcomes_identical(&discovered.outcome, &oracle);
+        assert!(discovered.outcome.metrics.joined_pairs > 0);
+    }
+
+    #[test]
+    fn discover_and_run_serves_discovery_from_an_attached_corpus() {
+        let config = JoinPipelineConfig::paper_default();
+        let repository = small_repository();
+        let discovery = DiscoveryConfig::paper_default();
+        let corpus = Arc::new(GramCorpus::new(
+            match &config.matching {
+                RowMatchingStrategy::NGram(cfg) => cfg.normalize,
+                RowMatchingStrategy::Golden => unreachable!("paper default is NGram"),
+            },
+        ));
+        let runner = BatchJoinRunner::new(config, 2).with_corpus(Arc::clone(&corpus));
+        let cold = runner.discover_and_run(&repository, &discovery);
+        let built = corpus.stats().signatures_built;
+        assert!(built > 0, "discovery signs into the attached corpus");
+        let warm = runner.discover_and_run(&repository, &discovery);
+        assert_eq!(warm.shortlist, cold.shortlist);
+        assert_outcomes_identical(&warm.outcome, &cold.outcome);
+        let stats = corpus.stats();
+        assert_eq!(stats.signatures_built, built, "warm discovery builds nothing");
+        assert!(stats.signature_hits > 0, "warm discovery is a cache read");
+    }
+
+    #[test]
+    fn discover_and_run_under_golden_strategy_retains_everything() {
+        let config = JoinPipelineConfig {
+            matching: RowMatchingStrategy::Golden,
+            ..JoinPipelineConfig::paper_default()
+        };
+        let mut repository = small_repository();
+        repository.push(decoy_pair());
+        let runner = BatchJoinRunner::new(config, 2);
+        let discovered = runner.discover_and_run(&repository, &DiscoveryConfig::paper_default());
+        assert_eq!(discovered.shortlist.ranked.len(), repository.len());
+        assert!(discovered.shortlist.pruned.is_empty());
+        let oracle = runner.run(&repository);
+        assert_outcomes_identical(&discovered.outcome, &oracle);
     }
 
     #[test]

@@ -93,8 +93,11 @@ pub mod pipeline;
 pub mod reference;
 
 pub use batch::{
-    BatchFaultStats, BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats, PairJoinReport,
-    RepositoryMetrics, SchedulerFailure,
+    BatchFaultStats, BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats,
+    DiscoveredBatchOutcome, PairJoinReport, RepositoryMetrics, SchedulerFailure,
+};
+pub use tjoin_discovery::{
+    DiscoveryConfig, PairCandidate, PrunedPair, RepositoryShortlist, ScoredPair,
 };
 pub use evaluate::{evaluate_join, JoinMetrics};
 pub use pipeline::{

@@ -269,6 +269,9 @@ impl JoinPipeline {
                 if let Some(token) = budget {
                     token.check()?;
                 }
+                // Invariant is local (audited): `as usize` widens `u32`
+                // golden row ids (lossless), and `golden_pairs` clamps the
+                // mapping to rows present in both columns before this map.
                 Ok(golden_pairs(pair)
                     .into_iter()
                     .map(|(s, t)| {
@@ -476,6 +479,9 @@ impl JoinPipeline {
     where
         I: IntoIterator<Item = &'a Transformation>,
     {
+        // Invariant is local (audited): the only abort source in
+        // `equi_join_budgeted` is a tripped budget token, and the budget
+        // is `None` on this line.
         self.equi_join_budgeted(pair, transformations, None)
             .expect("unbudgeted equi-join cannot abort")
     }
@@ -533,6 +539,10 @@ impl JoinPipeline {
             .threads
             .min(sources_normalized.len())
             .max(1);
+        // Invariant is local (audited): every `as usize` on a target row id
+        // below (serial and parallel paths) widens a `u32` drawn from the
+        // target fingerprint index, which is built over `targets_normalized`
+        // itself after its row count passed `checked_row_count`.
         if workers <= 1 {
             // Serial fast path: the oracle's transformation-major loop with
             // fingerprint probes — no per-row hit buffers or assembly pass.

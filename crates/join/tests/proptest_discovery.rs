@@ -1,0 +1,146 @@
+//! Differential suite for signature-shortlist discovery.
+//!
+//! Across random generated repositories (3–6 pairs × 8–16 rows) × decoy
+//! fractions {0, 0.25, 0.5, 0.75} × {1, 2, 4} threads (runner and
+//! signature-pass alike), three invariants are proven against retained
+//! oracles:
+//!
+//! * **Shortlist recall is 1.0.** Every pair the full brute-force
+//!   all-pairs batch run can join (non-empty predicted pairs) appears in
+//!   the shortlist — the anchor-pruning soundness argument of
+//!   `tjoin-discovery`, checked differentially rather than assumed.
+//! * **The shortlist is deterministic and thread-invariant.** The same
+//!   repository shortlists identically at every thread count and across
+//!   reruns — ranked order, pruned set, and budget cuts all equal.
+//! * **`discover_and_run` is the plain runner on the shortlist.** Its
+//!   batch outcome is bit-identical to `BatchJoinRunner::run` over the
+//!   ranked pair list, and the indexed signature scorer (`discover`) is
+//!   bit-identical to the brute-force pairwise oracle
+//!   (`discover_reference`) on the repository's column signatures.
+
+use proptest::prelude::*;
+use tjoin_datasets::{ColumnPair, RepositoryConfig};
+use tjoin_discovery::{corpus_signature, discover, discover_reference};
+use tjoin_join::{
+    BatchJoinOutcome, BatchJoinRunner, DiscoveryConfig, JoinPipelineConfig, RepositoryShortlist,
+};
+use tjoin_text::{GramCorpus, NormalizeOptions};
+
+/// Asserts two batch outcomes carry identical results: same report order,
+/// same per-pair predicted pairs / metrics / candidate counts /
+/// transformation sets, same aggregate metrics. (Wall-clock fields and
+/// scheduling counters are measurements, not results, and are exempt.)
+fn assert_outcomes_identical(a: &BatchJoinOutcome, b: &BatchJoinOutcome, context: &str) {
+    assert_eq!(a.reports.len(), b.reports.len(), "{context}: report count");
+    assert_eq!(a.faults, b.faults, "{context}: fault tallies");
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.name, rb.name, "{context}: report order");
+        assert_eq!(ra.status, rb.status, "{context}: status of {}", ra.name);
+        assert_eq!(
+            ra.outcome.predicted_pairs, rb.outcome.predicted_pairs,
+            "{context}: predicted pairs of {}",
+            ra.name
+        );
+        assert_eq!(ra.outcome.metrics, rb.outcome.metrics, "{context}: metrics of {}", ra.name);
+        assert_eq!(
+            ra.outcome.candidate_pairs, rb.outcome.candidate_pairs,
+            "{context}: candidates of {}",
+            ra.name
+        );
+        assert_eq!(
+            ra.outcome.transformations, rb.outcome.transformations,
+            "{context}: transformations of {}",
+            ra.name
+        );
+    }
+    assert_eq!(a.metrics.micro, b.metrics.micro, "{context}: micro metrics");
+    assert_eq!(a.metrics.macro_f1, b.metrics.macro_f1, "{context}: macro F1");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn shortlist_recall_is_one_and_discover_and_run_matches_the_plain_runner(
+        seed in 0u64..1_000_000,
+        pairs in 3usize..7,
+        rows in 8usize..17,
+        decoy_choice in 0usize..4,
+    ) {
+        let decoys = [0.0, 0.25, 0.5, 0.75][decoy_choice];
+        let repository = RepositoryConfig::new(pairs, rows).with_decoys(decoys).generate(seed);
+        let config = JoinPipelineConfig::paper_default();
+
+        // Brute-force all-pairs oracle: the full pipeline over EVERY pair.
+        // A pair is truly joinable when that run predicts row pairs for it.
+        let all_pairs = BatchJoinRunner::new(config.clone(), 2).run(&repository);
+        let joinable: Vec<&str> = all_pairs
+            .reports
+            .iter()
+            .filter(|r| !r.outcome.predicted_pairs.is_empty())
+            .map(|r| r.name.as_str())
+            .collect();
+
+        let mut reference: Option<RepositoryShortlist> = None;
+        for threads in [1usize, 2, 4] {
+            let runner = BatchJoinRunner::new(config.clone(), threads);
+            let discovery = DiscoveryConfig::paper_default().with_threads(threads);
+            let discovered = runner.discover_and_run(&repository, &discovery);
+
+            // Recall 1.0: no pipeline-joinable pair may be pruned.
+            for name in &joinable {
+                prop_assert!(
+                    discovered.shortlist.ranked.iter().any(|entry| entry.name == *name),
+                    "pipeline-joinable pair {} pruned at {} threads (seed {})",
+                    name, threads, seed
+                );
+            }
+            // Fault-free runs never fall back to conservative retention.
+            prop_assert!(
+                discovered.shortlist.ranked.iter().all(|entry| !entry.signature_failed),
+                "unexpected signature failure at {} threads", threads
+            );
+
+            // The discovered outcome is the plain runner on the shortlist.
+            let sublist: Vec<ColumnPair> = discovered
+                .shortlist
+                .ranked
+                .iter()
+                .map(|entry| repository[entry.index].clone())
+                .collect();
+            let plain = runner.run(&sublist);
+            assert_outcomes_identical(
+                &discovered.outcome,
+                &plain,
+                &format!("discover_and_run vs plain run at {threads} threads (seed {seed})"),
+            );
+
+            // Shortlist determinism and thread invariance.
+            match &reference {
+                None => reference = Some(discovered.shortlist.clone()),
+                Some(reference) => prop_assert_eq!(
+                    &discovered.shortlist, reference,
+                    "shortlist diverged at {} threads (seed {})", threads, seed
+                ),
+            }
+        }
+
+        // The indexed scorer is bit-identical to the brute-force pairwise
+        // oracle on the repository's own column signatures.
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let discovery = DiscoveryConfig::paper_default();
+        let sources: Vec<_> = repository
+            .iter()
+            .map(|p| corpus_signature(&corpus, &p.source, &discovery).expect("fault-free build"))
+            .collect();
+        let targets: Vec<_> = repository
+            .iter()
+            .map(|p| corpus_signature(&corpus, &p.target, &discovery).expect("fault-free build"))
+            .collect();
+        prop_assert_eq!(
+            discover(&sources, &targets, &discovery),
+            discover_reference(&sources, &targets, &discovery),
+            "indexed discovery diverged from the brute-force oracle (seed {})", seed
+        );
+    }
+}

@@ -179,6 +179,9 @@ impl NGramMatcher {
     /// bit-identical to [`crate::reference::find_candidates_reference`] at
     /// any thread count).
     pub fn find_candidates(&self, pair: &ColumnPair) -> Vec<RowMatch> {
+        // Invariant is local (audited): `MatchAbort` only arises from a
+        // tripped budget token or a sticky corpus failure, and both inputs
+        // are `None` on this line.
         self.try_find_candidates(pair, None, None)
             .expect("matching without a budget or corpus cannot abort")
     }
@@ -475,6 +478,10 @@ impl NGramMatcher {
     }
 
     fn materialize_pairs(pair: &ColumnPair, matches: Vec<RowMatch>) -> Vec<(String, String)> {
+        // Invariant is local (audited): `as usize` here widens `u32` row
+        // ids (lossless on every supported target), and the ids came from
+        // scanning these very columns, whose lengths already passed
+        // `checked_row_count` at index construction.
         matches
             .into_iter()
             .map(|m| {

@@ -26,13 +26,16 @@
 //!
 //! 1. **reserve** (at admission): the request's columns are
 //!    fingerprint-pre-scanned and *pinned* — per-reference counts of
-//!    queued interest, two references per pair (source + target);
-//! 2. **begin** (at dequeue): each distinct fingerprint is counted as a
-//!    *hit* (already resident) or *miss* (will be built by the run);
-//! 3. **release** (after the run): freshly built misses count as
-//!    *inserts*, every requested entry takes an LRU touch in
-//!    first-appearance order, the pins drop, and the cache evicts down to
-//!    its byte budget.
+//!    queued interest, two references per pair (source + target). Each
+//!    distinct fingerprint is counted right here as a *hit* (resident, or
+//!    already pending a build by an earlier queued request) or a *miss*
+//!    (this reservation becomes the fingerprint's **designated builder**),
+//!    and takes its LRU touch in first-appearance order;
+//! 2. **begin** (at dequeue): a phase-order assertion — every counter
+//!    decision was already made at reserve time;
+//! 3. **release** (after the run): each designated-builder fingerprint
+//!    that the run actually made resident counts as an *insert*, the pins
+//!    drop, and the cache evicts down to its byte budget.
 //!
 //! # Eviction invariants
 //!
@@ -71,13 +74,20 @@
 //!
 //! # Determinism
 //!
-//! All cache bookkeeping (reserve / begin / release) happens under one
-//! mutex in request order, *outside* the parallel run. For a serial
-//! request stream the full counter sequence — hits, misses, inserts,
-//! evictions, resident bytes — is therefore identical at any runner thread
-//! budget and across reruns. Draining one service from several threads
-//! keeps results exact but interleaves begin/release, so counters then
-//! depend on the interleaving.
+//! All cache bookkeeping happens under one mutex, *outside* the parallel
+//! run, and every **logical** counter decision — hit, miss, builder
+//! designation, LRU touch — is made at *reserve* time, which
+//! [`JoinService::submit`] serializes in admission order (the reservation
+//! is taken while the queue lock is held). Insert accounting belongs to
+//! the designated builder alone, so release order cannot shuffle it. The
+//! consequence, proven by `tests/proptest_serve.rs`: for a fixed
+//! submission sequence, the quiescent hits / misses / inserts are
+//! identical whether the queue is drained by one thread or many, at any
+//! runner thread budget, and per-ticket results stay bit-identical to a
+//! serial drain. Evictions and resident bytes remain *physical* counters:
+//! they report what eviction actually did, which under concurrent drains
+//! depends on release interleaving (never on results — residency cannot
+//! change results).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -153,8 +163,16 @@ struct EntryMeta {
     pinned: usize,
     /// Whether this entry was ever served warm from residency.
     ever_hit: bool,
-    /// Logical clock of the last release-time touch (0 = never touched).
+    /// Logical clock of the last reserve-time touch (0 = never touched).
     last_touch: u64,
+    /// Queued reservations designated to build this column (a later
+    /// reservation seeing `pending_builds > 0` counts a hit: by its turn
+    /// in the FIFO the column is expected warm).
+    pending_builds: usize,
+    /// Set when eviction removes this column within the current build
+    /// generation, so the designated builder's release still counts its
+    /// insert even if another request's release evicted the column first.
+    built: bool,
 }
 
 /// Lifetime counters of one [`ResidentCorpus`].
@@ -183,8 +201,10 @@ pub struct Reservation {
     fingerprints: Vec<u64>,
     /// Pin counts per fingerprint (parallel to `fingerprints`).
     references: Vec<usize>,
-    /// Per-fingerprint warmth recorded at [`ResidentCorpus::begin`]
-    /// (parallel to `fingerprints`; empty until begun).
+    /// Per-fingerprint warmth decided at [`ResidentCorpus::reserve`]:
+    /// resident in the corpus, or already pending a build by an earlier
+    /// queued reservation. `!warm[i]` marks this reservation as the
+    /// fingerprint's *designated builder* (parallel to `fingerprints`).
     warm: Vec<bool>,
     begun: bool,
 }
@@ -235,9 +255,15 @@ impl ResidentCorpus {
         self.byte_budget
     }
 
-    /// Phase 1 (admission): fingerprint-pre-scans `repository` and pins
-    /// every referenced column — two references per pair — so eviction
-    /// knows which entries queued work still needs.
+    /// Phase 1 (admission): fingerprint-pre-scans `repository`, pins every
+    /// referenced column — two references per pair — and makes every
+    /// logical counter decision for the request: each distinct fingerprint
+    /// is a hit when warm (resident, or pending a build by an earlier
+    /// queued reservation) or a miss that designates this reservation its
+    /// builder, and takes its LRU touch in first-appearance order. Because
+    /// [`JoinService::submit`] reserves while holding the queue lock,
+    /// these decisions are serialized in admission order no matter how
+    /// many threads later drain the queue.
     pub fn reserve(&self, repository: &[ColumnPair]) -> Reservation {
         let mut fingerprints = Vec::new();
         let mut references = Vec::new();
@@ -253,20 +279,37 @@ impl ResidentCorpus {
                 }
             }
         }
+        let mut warm = Vec::with_capacity(fingerprints.len());
         let mut state = lock(&self.state);
+        let state = &mut *state;
         for (&fingerprint, &count) in fingerprints.iter().zip(&references) {
-            state.entries.entry(fingerprint).or_default().pinned += count;
+            let meta = state.entries.entry(fingerprint).or_default();
+            meta.pinned += count;
+            state.clock += 1;
+            meta.last_touch = state.clock;
+            let is_warm = self.corpus.contains(fingerprint) || meta.pending_builds > 0;
+            if is_warm {
+                state.totals.hits += 1;
+                meta.ever_hit = true;
+            } else {
+                state.totals.misses += 1;
+                meta.pending_builds += 1;
+                meta.built = false;
+            }
+            warm.push(is_warm);
         }
         Reservation {
             fingerprints,
             references,
-            warm: Vec::new(),
+            warm,
             begun: false,
         }
     }
 
-    /// Phase 2 (dequeue): records each distinct column as a hit (resident)
-    /// or miss (about to be built by the run).
+    /// Phase 2 (dequeue): marks the reservation begun. Every counter
+    /// decision was already made at reserve time; this is the phase-order
+    /// assertion that keeps the reserve → begin → release discipline
+    /// checked at runtime.
     ///
     /// # Panics
     ///
@@ -274,24 +317,11 @@ impl ResidentCorpus {
     pub fn begin(&self, reservation: &mut Reservation) {
         assert!(!reservation.begun, "reservation begun twice");
         reservation.begun = true;
-        let mut state = lock(&self.state);
-        for &fingerprint in &reservation.fingerprints {
-            let warm = self.corpus.contains(fingerprint);
-            reservation.warm.push(warm);
-            if warm {
-                state.totals.hits += 1;
-                if let Some(meta) = state.entries.get_mut(&fingerprint) {
-                    meta.ever_hit = true;
-                }
-            } else {
-                state.totals.misses += 1;
-            }
-        }
     }
 
-    /// Phase 3 (after the run): counts freshly resident misses as inserts,
-    /// touches every requested entry in first-appearance order, drops the
-    /// pins, evicts down to the byte budget, and returns the post-release
+    /// Phase 3 (after the run): counts an insert for each designated-
+    /// builder fingerprint the run actually made resident, drops the pins,
+    /// evicts down to the byte budget, and returns the post-release
     /// [`ServeStats`] snapshot (with `queue_depth` 0 — [`JoinService`]
     /// overwrites it).
     ///
@@ -301,24 +331,30 @@ impl ResidentCorpus {
     pub fn release(&self, reservation: Reservation) -> ServeStats {
         assert!(reservation.begun, "release of a reservation that never began");
         let mut state = lock(&self.state);
+        let state = &mut *state;
         for (i, &fingerprint) in reservation.fingerprints.iter().enumerate() {
-            if !reservation.warm[i] && self.corpus.contains(fingerprint) {
-                state.totals.inserts += 1;
+            let meta = state.entries.entry(fingerprint).or_default();
+            if !reservation.warm[i] {
+                // Designated builder: the insert is this reservation's to
+                // count. `built` covers the column being evicted by another
+                // request's release before this one got here; a column the
+                // run never interned (Golden strategy, aborted pair) counts
+                // nothing.
+                if self.corpus.contains(fingerprint) || meta.built {
+                    state.totals.inserts += 1;
+                }
+                meta.pending_builds = meta.pending_builds.saturating_sub(1);
             }
-            state.clock += 1;
-            let clock = state.clock;
-            if let Some(meta) = state.entries.get_mut(&fingerprint) {
-                meta.last_touch = clock;
-                meta.pinned = meta.pinned.saturating_sub(reservation.references[i]);
-            }
+            meta.pinned = meta.pinned.saturating_sub(reservation.references[i]);
         }
-        self.evict_to_budget(&mut state);
-        // Drop metadata nothing references: unpinned and not resident.
+        self.evict_to_budget(state);
+        // Drop metadata nothing references: unpinned, no pending build,
+        // and not resident.
         let corpus = &self.corpus;
-        state
-            .entries
-            .retain(|&fingerprint, meta| meta.pinned > 0 || corpus.contains(fingerprint));
-        self.snapshot(&state)
+        state.entries.retain(|&fingerprint, meta| {
+            meta.pinned > 0 || meta.pending_builds > 0 || corpus.contains(fingerprint)
+        });
+        self.snapshot(state)
     }
 
     /// Runs `repository` through `runner` with the full reserve → begin →
@@ -373,6 +409,11 @@ impl ResidentCorpus {
             if self.corpus.evict(fingerprint).is_some() {
                 total -= bytes;
                 state.totals.evictions += 1;
+                // Remember the build this eviction erased, so the column's
+                // designated builder still counts its insert at release.
+                if let Some(meta) = state.entries.get_mut(&fingerprint) {
+                    meta.built = true;
+                }
             }
         }
     }
@@ -695,6 +736,33 @@ mod tests {
         let warm = resident.run(&runner, &overlap).serve.expect("stamped");
         assert_eq!(warm.hits, 2, "the shared pair's two columns hit");
         assert_eq!(warm.misses, 6 + 4, "lifetime misses: first repo + two new pairs");
+    }
+
+    #[test]
+    fn discovery_signatures_ride_the_resident_corpus() {
+        use tjoin_join::DiscoveryConfig;
+        let resident = ResidentCorpus::new(NormalizeOptions::default(), ServeConfig::default());
+        let runner =
+            BatchJoinRunner::new(JoinPipelineConfig::default(), 2).with_corpus(resident.shared());
+        let repo = small_repo(71);
+        let discovery = DiscoveryConfig::paper_default();
+
+        let cold = runner.discover_and_run(&repo, &discovery);
+        let between = resident.corpus().stats();
+        assert!(between.signatures_built > 0, "cold discovery signs the repository");
+
+        let warm = runner.discover_and_run(&repo, &discovery);
+        let after = resident.corpus().stats();
+        assert_eq!(
+            after.signatures_built, between.signatures_built,
+            "warm discovery must not rebuild signatures"
+        );
+        assert!(
+            after.signature_hits > between.signature_hits,
+            "warm discovery is served from the resident signature cache"
+        );
+        assert_outcomes_identical(&cold.outcome, &warm.outcome, "warm vs cold discovery");
+        assert_eq!(cold.shortlist.ranked.len(), warm.shortlist.ranked.len());
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!   sequence — hits, misses, inserts, evictions, resident bytes, queue
 //!   depth — is identical across reruns and across runner thread budgets,
 //!   because cache bookkeeping is serialized in request order.
+//! * **Concurrent drains change nothing logical.** For a fixed submission
+//!   sequence, draining the queue from {2, 4} threads keeps every
+//!   per-ticket result bit-identical to a single-threaded drain, and the
+//!   quiescent hits / misses / inserts equal the serial drain's — the
+//!   reserve-time counter decisions are serialized by submission, so
+//!   release interleaving cannot shuffle them. (Evictions and resident
+//!   bytes are physical and only pinned under budgets where eviction
+//!   cannot trigger.)
 
 use proptest::prelude::*;
 use tjoin_datasets::{RepositoryConfig, RequestWorkload, RequestWorkloadConfig};
@@ -149,6 +157,83 @@ proptest! {
                          ({} threads, budget {:?})",
                         threads, budget
                     ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_drains_keep_results_exact_and_logical_counters_invariant(
+        seed in 0u64..1_000_000,
+        distinct in 1usize..3,
+        requests in 2usize..6,
+    ) {
+        let w = workload(seed, distinct, requests);
+        let config = JoinPipelineConfig::default();
+
+        // A budget of one byte forces eviction (including of pinned
+        // entries) between and *during* concurrent requests — the
+        // adversarial case for insert accounting.
+        for budget in [None, Some(1)] {
+            let serve_config = ServeConfig { byte_budget: budget, ..ServeConfig::default() };
+
+            // Serial oracle: same submissions, one drain thread.
+            let service = JoinService::new(config.clone(), 2, serve_config.clone());
+            for &r in &w.sequence {
+                prop_assert!(service.submit(w.repositories[r].clone()).is_ok());
+            }
+            let oracle = service.drain();
+            let oracle_stats = service.stats();
+
+            for drain_threads in [2usize, 4] {
+                let service = JoinService::new(config.clone(), 2, serve_config.clone());
+                for &r in &w.sequence {
+                    prop_assert!(service.submit(w.repositories[r].clone()).is_ok());
+                }
+                let mut outcomes = Vec::new();
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = (0..drain_threads)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let mut mine = Vec::new();
+                                while let Some(entry) = service.run_next() {
+                                    mine.push(entry);
+                                }
+                                mine
+                            })
+                        })
+                        .collect();
+                    for worker in workers {
+                        outcomes.extend(worker.join().expect("drain thread panicked"));
+                    }
+                });
+                outcomes.sort_by_key(|&(ticket, _)| ticket);
+                prop_assert_eq!(outcomes.len(), oracle.len(), "every ticket drained once");
+                for ((ticket, outcome), (oracle_ticket, oracle_outcome)) in
+                    outcomes.iter().zip(&oracle)
+                {
+                    prop_assert_eq!(ticket, oracle_ticket);
+                    assert_outcomes_identical(
+                        outcome,
+                        oracle_outcome,
+                        &format!(
+                            "ticket {ticket} drained by {drain_threads} threads under budget {budget:?}"
+                        ),
+                    );
+                }
+                let stats = service.stats();
+                let context = format!("{drain_threads} drain threads, budget {budget:?}");
+                prop_assert_eq!(stats.hits, oracle_stats.hits, "hits ({})", &context);
+                prop_assert_eq!(stats.misses, oracle_stats.misses, "misses ({})", &context);
+                prop_assert_eq!(stats.inserts, oracle_stats.inserts, "inserts ({})", &context);
+                if budget.is_none() {
+                    // Without a budget eviction never runs, so even the
+                    // physical counters are pinned.
+                    prop_assert_eq!(stats.evictions, 0, "evictions ({})", &context);
+                    prop_assert_eq!(
+                        stats.bytes_resident, oracle_stats.bytes_resident,
+                        "resident bytes ({})", &context
+                    );
                 }
             }
         }

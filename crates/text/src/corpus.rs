@@ -68,6 +68,7 @@ use crate::fxhash::FxHashMap;
 use crate::index::NGramIndex;
 use crate::normalize::NormalizeOptions;
 use crate::scoring::ColumnStats;
+use crate::signature::ColumnSignature;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -96,7 +97,8 @@ pub fn column_fingerprint_on<C: CellText + ?Sized>(column: &C) -> u64 {
 /// a poisoned lock.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorpusFailure {
-    /// Which artifact failed to build (`"column"`, `"stats"`, `"index"`).
+    /// Which artifact failed to build (`"column"`, `"stats"`, `"index"`,
+    /// `"signature"`).
     pub artifact: &'static str,
     /// The contained panic's message.
     pub message: String,
@@ -249,6 +251,14 @@ pub struct CorpusStats {
     pub stats_attempts: usize,
     /// Total `NGramIndex` build attempts behind the resident entries.
     pub index_attempts: usize,
+    /// Distinct `(column, size-range)` `ColumnSignature`s built.
+    pub signatures_built: usize,
+    /// `signature()` calls served from cache.
+    pub signature_hits: usize,
+    /// `ColumnSignature` builds recorded as sticky failures.
+    pub signatures_failed: usize,
+    /// Total `ColumnSignature` build attempts behind the resident entries.
+    pub signature_attempts: usize,
 }
 
 impl CorpusStats {
@@ -260,7 +270,7 @@ impl CorpusStats {
 
     /// Total sticky build failures across all artifact kinds.
     pub fn total_failures(&self) -> usize {
-        self.columns_failed + self.stats_failed + self.indexes_failed
+        self.columns_failed + self.stats_failed + self.indexes_failed + self.signatures_failed
     }
 }
 
@@ -280,8 +290,10 @@ pub struct CorpusColumn {
     retry: CorpusRetryPolicy,
     stats: Mutex<ArtifactCache<ColumnStats>>,
     indexes: Mutex<ArtifactCache<NGramIndex>>,
+    signatures: Mutex<ArtifactCache<ColumnSignature>>,
     stats_hits: AtomicUsize,
     index_hits: AtomicUsize,
+    signature_hits: AtomicUsize,
 }
 
 impl CorpusColumn {
@@ -297,8 +309,10 @@ impl CorpusColumn {
             retry,
             stats: Mutex::new(FxHashMap::default()),
             indexes: Mutex::new(FxHashMap::default()),
+            signatures: Mutex::new(FxHashMap::default()),
             stats_hits: AtomicUsize::new(0),
             index_hits: AtomicUsize::new(0),
+            signature_hits: AtomicUsize::new(0),
         })
     }
 
@@ -330,6 +344,11 @@ impl CorpusColumn {
         for built in fault::lock_recover(&self.indexes).values() {
             if let Ok(index) = &built.result {
                 bytes += index.approximate_bytes();
+            }
+        }
+        for built in fault::lock_recover(&self.signatures).values() {
+            if let Ok(signature) = &built.result {
+                bytes += signature.approximate_bytes();
             }
         }
         bytes
@@ -391,6 +410,40 @@ impl CorpusColumn {
     /// message when the entry is a sticky failure.
     pub fn index(&self, n_min: usize, n_max: usize) -> Arc<NGramIndex> {
         self.try_index(n_min, n_max).unwrap_or_else(|failure| panic!("{failure}"))
+    }
+
+    /// The column's discovery [`ColumnSignature`] over sizes
+    /// `n_min..=n_max` (anchors at size `n_min`), built on first request
+    /// and cached (exactly-once under concurrency), with the same
+    /// sticky-failure containment as [`Self::try_stats`]. The build reads
+    /// the column's cached stats — a sticky stats failure surfaces here as
+    /// the same typed failure instead of a fresh panic.
+    pub fn try_signature(
+        &self,
+        n_min: usize,
+        n_max: usize,
+    ) -> Result<Arc<ColumnSignature>, CorpusFailure> {
+        if fault::should_poison(FaultSite::CorpusSignatureBuild) {
+            fault::poison_mutex(&self.signatures);
+        }
+        let mut cache = fault::lock_recover(&self.signatures);
+        if let Some(entry) = cache.get(&(n_min, n_max)) {
+            self.signature_hits.fetch_add(1, Ordering::Relaxed);
+            return entry.result.clone();
+        }
+        let (result, attempts) = build_with_retry(self.retry, "signature", || {
+            fault::fire(FaultSite::CorpusSignatureBuild);
+            let stats = self.try_stats(n_min, n_max)?;
+            Ok(Arc::new(ColumnSignature::build(&self.normalized, &stats, n_min)))
+        });
+        cache.insert((n_min, n_max), Built { result: result.clone(), attempts });
+        result
+    }
+
+    /// Infallible [`Self::try_signature`]: panics with the recorded
+    /// failure's message when the entry is a sticky failure.
+    pub fn signature(&self, n_min: usize, n_max: usize) -> Arc<ColumnSignature> {
+        self.try_signature(n_min, n_max).unwrap_or_else(|failure| panic!("{failure}"))
     }
 }
 
@@ -660,6 +713,14 @@ impl GramCorpus {
                 }
             }
             stats.index_hits += column.index_hits.load(Ordering::Relaxed);
+            for built in fault::lock_recover(&column.signatures).values() {
+                stats.signature_attempts += built.attempts;
+                match &built.result {
+                    Ok(_) => stats.signatures_built += 1,
+                    Err(_) => stats.signatures_failed += 1,
+                }
+            }
+            stats.signature_hits += column.signature_hits.load(Ordering::Relaxed);
         }
         stats
     }
@@ -711,6 +772,28 @@ mod tests {
         assert_eq!(stats.column_hits, 1);
         assert_eq!(stats.normalizations_saved(), 1);
         assert_eq!(stats.total_failures(), 0);
+    }
+
+    #[test]
+    fn signatures_cache_exactly_once_and_count_bytes() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let column = corpus.column(&col(&["Rafiei, Davood", "Bowling, Michael"]));
+        let before = column.approximate_bytes();
+        let first = column.signature(4, 8);
+        let second = column.signature(4, 8);
+        assert!(Arc::ptr_eq(&first, &second), "cached signature is shared");
+        let other_range = column.signature(5, 8);
+        assert!(!Arc::ptr_eq(&first, &other_range), "size ranges cache separately");
+        let stats = corpus.stats();
+        assert_eq!(stats.signatures_built, 2);
+        assert_eq!(stats.signature_hits, 1);
+        assert_eq!(stats.signatures_failed, 0);
+        assert_eq!(stats.signature_attempts, 2);
+        // The signature build pulls the column's stats through the stats
+        // cache (one build per range), and the resident footprint grows by
+        // the cached signatures.
+        assert_eq!(stats.stats_built, 2);
+        assert!(column.approximate_bytes() > before);
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub enum FaultSite {
     /// Inside a corpus `NGramIndex` build (also the poison point of the
     /// per-column index cache lock).
     CorpusIndexBuild,
+    /// Inside a corpus `ColumnSignature` build (also the poison point of the
+    /// per-column signature cache lock).
+    CorpusSignatureBuild,
     /// Entry of the synthesis phase (pipeline phase 2).
     SynthesisPhase,
     /// Entry of the synthesis coverage scan.

@@ -74,6 +74,11 @@
 //! * [`scoring`] — Inverse Row Frequency (IRF, Eq. 1) and the representative
 //!   score (Rscore, Eq. 2), fingerprint-keyed so stats builds allocate no
 //!   gram text.
+//! * [`signature`] — cheap per-column discovery signatures: fixed-width
+//!   MinHash lanes over the stats' gram-fingerprint stream (shortlist
+//!   *scoring*) plus the exact size-`n_min` anchor fingerprint set
+//!   (shortlist *pruning* — disjoint anchors prove zero candidate row
+//!   matches). Cached in the corpus next to stats/index.
 //! * [`normalize`] — case/whitespace normalization applied before matching
 //!   (the paper ignores capitalization in its running examples):
 //!   [`normalize_for_matching`] is the per-call reference, and
@@ -94,6 +99,7 @@ pub mod ngram;
 pub mod normalize;
 pub mod par;
 pub mod scoring;
+pub mod signature;
 pub mod tokenize;
 
 pub use arena::{checked_row_count, ArenaError, CellText, Cells, ColumnArena};
@@ -114,4 +120,5 @@ pub use ngram::{
 pub use normalize::{normalize_append, normalize_for_matching, NormalizeOptions};
 pub use par::{chunk_map, chunk_map_budgeted, chunk_map_rows, chunk_map_rows_budgeted};
 pub use scoring::{irf, rscore, ColumnStats};
+pub use signature::{CollisionGuard, ColumnSignature, SIGNATURE_WIDTH};
 pub use tokenize::{is_separator_char, tokenize_with_separators, Token, TokenKind};

@@ -1,0 +1,335 @@
+//! Cheap per-column discovery signatures.
+//!
+//! The discovery layer (crates/discovery) must decide *which* column pairs
+//! are worth the expensive match→synthesize→join pipeline without running
+//! it. This module provides the per-column summary that decision reads:
+//!
+//! * **Anchor set** — the sorted, deduplicated [`fingerprint64`]s of every
+//!   gram of size exactly `n_min` in the normalized column. The n-gram
+//!   matcher only ever pairs rows through a shared gram with size in
+//!   `[n_min, n_max]`, and every shared gram of length `n ≥ n_min` contains
+//!   a shared length-`n_min` substring — so **two columns with disjoint
+//!   anchor sets cannot produce a single candidate row match**. Exact
+//!   anchor-set intersection is therefore a sound pruning predicate
+//!   (recall 1.0 by construction), which is what lets the discovery
+//!   shortlist keep the repo's differential-oracle discipline.
+//! * **MinHash lanes** — a fixed-width ([`SIGNATURE_WIDTH`] × u64)
+//!   one-permutation MinHash over the *full* gram-fingerprint stream of the
+//!   column's [`ColumnStats`] (all sizes in `[n_min, n_max]`): each distinct
+//!   gram fingerprint is mixed **once** (`mix64(fp)`), its top bits pick a
+//!   lane, and the lane keeps the minimum mixed value it sees. One hash per
+//!   gram keeps the signature pass far cheaper than the pipeline work it
+//!   prunes — the k-independent-permutations variant costs
+//!   `SIGNATURE_WIDTH` hashes per gram and made cold discovery slower than
+//!   the all-pairs run it replaces. Matching-lane counting over the lanes
+//!   both columns populate estimates gram-set Jaccard similarity, which
+//!   scores and orders the shortlist. The estimate is only ever a *score* —
+//!   never a pruning predicate — so its variance cannot cost recall.
+//!
+//! Both halves are pure functions of the normalized cell contents and the
+//! gram range: per-lane minima and set membership are order-independent, so
+//! signatures are bit-identical regardless of hash-map iteration order or
+//! thread count. Signatures are cached in the [`crate::corpus::GramCorpus`]
+//! next to stats/index (see `CorpusColumn::try_signature`), so a resident
+//! corpus serves warm discovery without recomputing anything.
+
+use crate::arena::CellText;
+use crate::fingerprint::{fingerprint64, mix64};
+use crate::fxhash::FxHashSet;
+use crate::ngram::for_each_ngram_in_sizes;
+use crate::scoring::ColumnStats;
+
+#[cfg(debug_assertions)]
+use crate::fxhash::FxHashMap;
+
+/// Number of 64-bit MinHash lanes in a [`ColumnSignature`].
+///
+/// 32 one-permutation lanes estimate Jaccard with standard error on the
+/// order of `sqrt(j(1-j)/32) ≤ 0.09` — ample for *ordering* a shortlist
+/// (the only thing the estimate does) at 256 bytes per column and a single
+/// `mix64` per distinct gram. Must stay a power of two: the lane index is
+/// the mixed fingerprint's top `log2(SIGNATURE_WIDTH)` bits.
+pub const SIGNATURE_WIDTH: usize = 32;
+
+/// Bits of the mixed fingerprint that select the lane.
+const LANE_BITS: u32 = SIGNATURE_WIDTH.trailing_zeros();
+
+/// Debug-build shadow map asserting that distinct gram texts never share a
+/// fingerprint — the same guard [`ColumnStats`] and `NGramIndex` builds
+/// carry, factored out so the signature build (and its forced-collision
+/// regression test) can use it directly. Release builds compile it to
+/// nothing.
+#[derive(Debug, Default)]
+pub struct CollisionGuard {
+    #[cfg(debug_assertions)]
+    shadow: FxHashMap<u64, String>,
+}
+
+impl CollisionGuard {
+    /// Creates an empty guard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `gram` fingerprints to `key`; panics (debug builds
+    /// only) if a *different* gram already claimed the same key.
+    #[inline]
+    pub fn check(&mut self, key: u64, gram: &str) {
+        #[cfg(debug_assertions)]
+        {
+            let prev = self.shadow.entry(key).or_insert_with(|| gram.to_owned());
+            debug_assert_eq!(
+                prev, gram,
+                "gram fingerprint collision: {prev:?} vs {gram:?} both hash to {key:#x}"
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (key, gram);
+        }
+    }
+}
+
+/// The per-column discovery signature: MinHash lanes over the full gram
+/// stream plus the exact size-`n_min` anchor fingerprint set (see the
+/// module docs for why the split matters — anchors prune, lanes score).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSignature {
+    /// One-permutation MinHash lanes: each distinct gram fingerprint is
+    /// mixed once, routed to lane `mix >> (64 - LANE_BITS)`, and the lane
+    /// keeps `min(mix)`. `u64::MAX` marks a lane no gram landed in.
+    lanes: [u64; SIGNATURE_WIDTH],
+    /// Sorted, deduplicated fingerprints of every gram of size exactly
+    /// `anchor_size` in the normalized column.
+    anchors: Vec<u64>,
+    /// The anchor gram size (`n_min` of the range the signature serves).
+    anchor_size: usize,
+    /// Row count of the signed column (copied from its stats).
+    row_count: usize,
+    /// Distinct grams across the full `[n_min, n_max]` range (copied from
+    /// the stats; the cardinality term of the overlap estimate).
+    distinct_grams: usize,
+}
+
+impl ColumnSignature {
+    /// Builds the signature for a normalized `column` whose gram statistics
+    /// over `[n_min, n_max]` are `stats`. The column must be the same one
+    /// the stats were built on — the corpus cache guarantees this by
+    /// building both from its interned normalized arena.
+    pub fn build<C: CellText + ?Sized>(column: &C, stats: &ColumnStats, n_min: usize) -> Self {
+        let mut lanes = [u64::MAX; SIGNATURE_WIDTH];
+        for fp in stats.gram_fingerprints() {
+            let h = mix64(fp);
+            let lane = (h >> (64 - LANE_BITS)) as usize;
+            if h < lanes[lane] {
+                lanes[lane] = h;
+            }
+        }
+        let mut guard = CollisionGuard::new();
+        let mut anchor_set: FxHashSet<u64> = FxHashSet::default();
+        for cell in 0..column.cell_count() {
+            for_each_ngram_in_sizes(column.cell(cell), n_min, n_min, &mut |g| {
+                let key = fingerprint64(g);
+                guard.check(key, g);
+                anchor_set.insert(key);
+            });
+        }
+        let mut anchors: Vec<u64> = anchor_set.into_iter().collect();
+        anchors.sort_unstable();
+        Self {
+            lanes,
+            anchors,
+            anchor_size: n_min,
+            row_count: stats.row_count,
+            distinct_grams: stats.distinct_ngrams(),
+        }
+    }
+
+    /// The sorted anchor fingerprint set (size-`n_min` grams).
+    pub fn anchors(&self) -> &[u64] {
+        &self.anchors
+    }
+
+    /// The anchor gram size this signature was built with.
+    pub fn anchor_size(&self) -> usize {
+        self.anchor_size
+    }
+
+    /// Row count of the signed column.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Distinct grams across the signature's full size range.
+    pub fn distinct_grams(&self) -> usize {
+        self.distinct_grams
+    }
+
+    /// Exact size of the anchor intersection with `other` (linear merge
+    /// over the two sorted sets). This is the *pruning* predicate: zero
+    /// shared anchors proves zero candidate row matches.
+    pub fn shared_anchors(&self, other: &Self) -> usize {
+        debug_assert_eq!(
+            self.anchor_size, other.anchor_size,
+            "anchor sets of different gram sizes are not comparable"
+        );
+        let (mut i, mut j, mut shared) = (0usize, 0usize, 0usize);
+        while i < self.anchors.len() && j < other.anchors.len() {
+            match self.anchors[i].cmp(&other.anchors[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    shared += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        shared
+    }
+
+    /// MinHash estimate of the gram-set Jaccard similarity with `other`:
+    /// the fraction of matching lanes among the lanes at least one of the
+    /// two columns populated. Lanes empty on *both* sides carry no
+    /// information (their shared `u64::MAX` sentinel must not read as
+    /// agreement) and are excluded; a lane empty on exactly one side is a
+    /// genuine mismatch. Zero when either column has no grams at all.
+    pub fn estimated_jaccard(&self, other: &Self) -> f64 {
+        if self.distinct_grams == 0 || other.distinct_grams == 0 {
+            return 0.0;
+        }
+        let (mut matching, mut comparable) = (0usize, 0usize);
+        for (a, b) in self.lanes.iter().zip(&other.lanes) {
+            if *a == u64::MAX && *b == u64::MAX {
+                continue;
+            }
+            comparable += 1;
+            if a == b {
+                matching += 1;
+            }
+        }
+        if comparable == 0 {
+            return 0.0;
+        }
+        matching as f64 / comparable as f64
+    }
+
+    /// Estimated *overlap* (shared distinct grams) with `other`, derived
+    /// from the Jaccard estimate and the exact per-column cardinalities:
+    /// `|A∩B| = j·|A∪B|` and `|A∪B| = (|A|+|B|)/(1+j)`. A deterministic
+    /// f64 used only to score and order the shortlist.
+    pub fn estimated_overlap(&self, other: &Self) -> f64 {
+        let j = self.estimated_jaccard(other);
+        j * (self.distinct_grams + other.distinct_grams) as f64 / (1.0 + j)
+    }
+
+    /// Estimated memory footprint: the fixed struct (lanes inline) plus the
+    /// anchor vector — summed into the corpus's per-column byte accounting
+    /// so resident signatures participate in eviction budgets.
+    pub fn approximate_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.anchors.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::NormalizeOptions;
+
+    fn sig(rows: &[&str], n_min: usize, n_max: usize) -> ColumnSignature {
+        let stats = ColumnStats::build(rows, n_min, n_max);
+        ColumnSignature::build(rows, &stats, n_min)
+    }
+
+    #[test]
+    fn identical_columns_sign_identically() {
+        let a = sig(&["davood rafiei", "mario nascimento"], 4, 8);
+        let b = sig(&["davood rafiei", "mario nascimento"], 4, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.estimated_jaccard(&b), 1.0);
+        assert_eq!(a.shared_anchors(&b), a.anchors().len());
+        assert!(a.anchors().windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+    }
+
+    #[test]
+    fn storage_representation_does_not_change_the_signature() {
+        let rows: &[&str] = &["alpha beta", "gamma delta epsilon"];
+        let stats = ColumnStats::build(rows, 4, 8);
+        let vec_sig = ColumnSignature::build(rows, &stats, 4);
+        let arena = crate::arena::ColumnArena::try_normalized(rows, &NormalizeOptions::default())
+            .expect("tiny column fits the arena");
+        let arena_stats = ColumnStats::build_on(&arena, 4, 8);
+        let arena_sig = ColumnSignature::build(&arena, &arena_stats, 4);
+        // Default normalization lowercases/trims; these rows are already
+        // normal form, so both representations carry identical cells.
+        assert_eq!(vec_sig, arena_sig);
+    }
+
+    #[test]
+    fn disjoint_columns_share_nothing() {
+        let a = sig(&["aaaaaa"], 4, 6);
+        let b = sig(&["bbbbbb"], 4, 6);
+        assert_eq!(a.shared_anchors(&b), 0);
+        assert_eq!(a.estimated_jaccard(&b), 0.0);
+        assert_eq!(a.estimated_overlap(&b), 0.0);
+    }
+
+    #[test]
+    fn empty_columns_score_zero_not_one() {
+        let empty = sig(&[], 4, 6);
+        let other = sig(&["abcdef"], 4, 6);
+        assert_eq!(empty.distinct_grams(), 0);
+        assert_eq!(empty.estimated_jaccard(&other), 0.0);
+        // Two empty columns must not read their sentinel lanes as a match.
+        assert_eq!(empty.estimated_jaccard(&empty), 0.0);
+        assert_eq!(empty.anchors().len(), 0);
+    }
+
+    #[test]
+    fn shared_substring_yields_shared_anchor() {
+        // Any pipeline-joinable pair shares a gram of size >= n_min, hence
+        // a size-n_min anchor — the recall-1.0 argument in miniature.
+        let a = sig(&["prefix SHARED1234 suffix"], 4, 8);
+        let b = sig(&["SHARED1234"], 4, 8);
+        assert!(a.shared_anchors(&b) > 0);
+    }
+
+    #[test]
+    fn rows_shorter_than_anchor_size_contribute_no_anchors() {
+        let s = sig(&["abc", "ab"], 4, 6);
+        assert_eq!(s.anchors().len(), 0);
+        assert_eq!(s.distinct_grams(), 0);
+    }
+
+    #[test]
+    fn overlap_estimate_tracks_cardinality() {
+        let a = sig(&["the quick brown fox jumps over the lazy dog"], 4, 8);
+        let same = sig(&["the quick brown fox jumps over the lazy dog"], 4, 8);
+        let est = a.estimated_overlap(&same);
+        let exact = a.distinct_grams() as f64;
+        // Jaccard 1.0 on identical sets makes the estimate exact.
+        assert!((est - exact).abs() < 1e-9, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn approximate_bytes_tracks_anchor_count() {
+        let small = sig(&["abcd"], 4, 4);
+        let large = sig(&["abcdefghijklmnopqrstuvwxyz"], 4, 8);
+        assert!(large.approximate_bytes() > small.approximate_bytes());
+        assert!(small.approximate_bytes() >= std::mem::size_of::<ColumnSignature>());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn forced_collision_trips_the_guard() {
+        // Regression for the signature collision check: two *different*
+        // gram texts claiming one fingerprint must panic in debug builds.
+        let mut guard = CollisionGuard::new();
+        guard.check(42, "abcd");
+        guard.check(42, "abcd"); // same text: fine
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            guard.check(42, "efgh");
+        }));
+        assert!(result.is_err(), "distinct texts on one key must panic");
+    }
+}
