@@ -1,0 +1,130 @@
+//! Incremental joinability benchmark, tracking the delta-maintenance claim
+//! in `BENCH_incremental.json` at the workspace root.
+//!
+//! A hot-skewed append workload (one large pair absorbing a stream of
+//! small same-family appends) is maintained two ways:
+//!
+//! * **Incremental**: one full pipeline run, then [`IncrementalJoin`]
+//!   append steps — coverage scored over the delta rows only, the retained
+//!   transformation set re-applied, synthesis re-run only below the
+//!   quality floor (never, on this clean workload).
+//! * **Rebuild**: the same initial run, then a full pipeline run from
+//!   scratch after every append — the pre-incremental baseline.
+//!
+//! Before timing, the final states are asserted results-identical: the
+//! incremental path's predicted pairs and metrics equal a fresh full run
+//! over the final grown pair. The hard gate then requires the incremental
+//! wall-clock strictly below the rebuild wall-clock — delta maintenance
+//! must beat recomputation on the workload shape it exists for.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tjoin_bench::time_seconds;
+use tjoin_datasets::{row_id, AppendWorkloadConfig, ColumnPair, RepositoryConfig};
+use tjoin_join::{
+    IncrementalJoin, IncrementalJoinConfig, JoinPipeline, JoinPipelineConfig, RowMatchingStrategy,
+};
+
+const THREADS: usize = 4;
+const SEED: u64 = 23;
+
+fn append_aligned(pair: &mut ColumnPair, rows: &[(String, String)]) {
+    for (source, target) in rows {
+        let s = row_id(pair.source.len());
+        let t = row_id(pair.target.len());
+        pair.source.push(source.clone());
+        pair.target.push(target.clone());
+        pair.golden.push((s, t));
+    }
+}
+
+fn incremental_vs_rebuild(_c: &mut Criterion) {
+    // One large clean pair plus a stream of small same-family appends —
+    // the skewed shape where a rebuild re-synthesizes an ever-growing
+    // column for every few appended rows.
+    let workload = AppendWorkloadConfig {
+        repository: RepositoryConfig::new(1, 300).with_decoys(0.0).with_noise(0.0),
+        appends: 8,
+        rows_per_append: 10,
+    }
+    .generate(SEED);
+    let base = workload.base[0].clone();
+    let config = JoinPipelineConfig {
+        matching: RowMatchingStrategy::Golden,
+        ..JoinPipelineConfig::default()
+    }
+    .with_threads(THREADS);
+    let floor = IncrementalJoinConfig { resynthesis_floor: 1.0 };
+
+    // --- Identity before timing: the incremental final state must be
+    // results-identical to a fresh full run over the final pair. ---
+    let mut live = IncrementalJoin::new(config.clone(), floor.clone(), base.clone());
+    let mut resyntheses = 0usize;
+    for step in &workload.steps {
+        if live.append(&step.rows).resynthesized {
+            resyntheses += 1;
+        }
+    }
+    assert_eq!(resyntheses, 0, "a clean same-family stream must never re-synthesize");
+    let final_rows = live.pair().source.len();
+    let fresh = JoinPipeline::new(config.clone()).run(live.pair());
+    assert!(fresh.metrics.true_positives > 0, "the workload must actually join");
+    assert_eq!(
+        live.outcome().predicted_pairs,
+        fresh.predicted_pairs,
+        "incremental predictions diverge from the full run on the final pair"
+    );
+    assert_eq!(
+        live.outcome().metrics,
+        fresh.metrics,
+        "incremental metrics diverge from the full run on the final pair"
+    );
+
+    // --- Timings: both legs include the one unavoidable initial run; the
+    // rebuild leg then re-runs the full pipeline per append. ---
+    let samples = 5;
+    let incremental_secs = time_seconds(samples, || {
+        let mut live =
+            IncrementalJoin::new(config.clone(), floor.clone(), black_box(base.clone()));
+        for step in &workload.steps {
+            black_box(live.append(&step.rows));
+        }
+    });
+    let rebuild_secs = time_seconds(samples, || {
+        let pipeline = JoinPipeline::new(config.clone());
+        let mut pair = black_box(base.clone());
+        black_box(pipeline.run(&pair));
+        for step in &workload.steps {
+            append_aligned(&mut pair, &step.rows);
+            black_box(pipeline.run(&pair));
+        }
+    });
+
+    let speedup = rebuild_secs / incremental_secs;
+    let summary = format!(
+        "{{\n  \"benchmark\": \"incremental\",\n  \"threads\": {THREADS},\n  \"workload\": {{\n    \"seed\": {SEED},\n    \"base_rows\": {},\n    \"appends\": {},\n    \"rows_per_append\": 10,\n    \"final_rows\": {final_rows},\n    \"resynthesis_floor\": 1.0,\n    \"resyntheses\": {resyntheses}\n  }},\n  \"incremental_vs_rebuild\": {{\n    \"samples\": {samples},\n    \"incremental_median_seconds\": {incremental_secs:.6},\n    \"rebuild_median_seconds\": {rebuild_secs:.6},\n    \"speedup_incremental_vs_rebuild\": {speedup:.2},\n    \"outcomes_results_identical\": true\n  }}\n}}\n",
+        base.source.len(),
+        workload.steps.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    std::fs::write(path, &summary).expect("write BENCH_incremental.json");
+    println!(
+        "incremental: {speedup:.2}x over rebuild-per-append \
+         ({rebuild_secs:.4}s -> {incremental_secs:.4}s) across {} appends",
+        workload.steps.len()
+    );
+    println!("summary written to {path}");
+    // The tentpole gate: delta maintenance must beat rebuilding from
+    // scratch on the skewed append workload, on any box.
+    assert!(
+        incremental_secs < rebuild_secs,
+        "incremental maintenance ({incremental_secs:.4}s) must be strictly below \
+         rebuild-per-append ({rebuild_secs:.4}s)"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = incremental_vs_rebuild
+}
+criterion_main!(benches);

@@ -118,6 +118,9 @@ impl RowBitmap {
                 }
                 let bit = w.trailing_zeros();
                 w &= w - 1;
+                // Invariant is local (audited): bitmaps are built over u32
+                // row ids (`from_sorted_rows`), so the word index times 64
+                // stays inside the u32 space the rows came from.
                 Some(wi as u32 * 64 + bit)
             })
         })

@@ -220,9 +220,9 @@ pub fn lazy_greedy_cover_budgeted(
         .enumerate()
         .map(|(idx, c)| GainEntry {
             gain: c.covered.count_ones(),
-            len: c.transformation.len() as u32,
+            len: u32::try_from(c.transformation.len()).expect("transformation length overflow"),
             rank: 0,
-            idx: idx as u32,
+            idx: u32::try_from(idx).expect("candidate count exceeds the u32 index space"),
             epoch: 0,
         })
         .collect();
@@ -372,7 +372,8 @@ fn intern_string_ranks(slots: &[Option<ScoredTransformation>]) -> Vec<u32> {
         .iter()
         .map(|s| s.as_ref().map(|c| c.transformation.to_string()).unwrap_or_default())
         .collect();
-    let mut order: Vec<u32> = (0..rendered.len() as u32).collect();
+    let len = u32::try_from(rendered.len()).expect("candidate count exceeds the u32 index space");
+    let mut order: Vec<u32> = (0..len).collect();
     order.sort_unstable_by(|&a, &b| rendered[a as usize].cmp(&rendered[b as usize]));
     let mut rank = vec![0u32; rendered.len()];
     let mut current = 0u32;

@@ -768,6 +768,9 @@ impl SharedUnitMemo {
         let rows = pairs.len();
         let mut column_of_unit = vec![NO_COLUMN; pool.len()];
         for (col, id) in ids.iter().enumerate() {
+            // Invariant is local (audited): `col` indexes `ids`, whose
+            // length is bounded by the pool size, itself capped at the
+            // u32 id space by `UnitPool::intern`'s checked conversion.
             column_of_unit[id.index()] = col as u32;
         }
         let shard_size = ids.len().div_ceil(threads.min(ids.len()).max(1)).max(1);
@@ -1012,6 +1015,9 @@ fn coverage_scan<V: UnitVerdicts>(
                 }
             }
             if !failed && buffer == target {
+                // Invariant is local (audited): `row` indexes the
+                // `PairSet`, admitted through `checked_row_count` in
+                // `PairSet::from_pairs` — the cast cannot truncate.
                 covered[t_idx].push(row as u32);
             }
         }

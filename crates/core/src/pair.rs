@@ -1,7 +1,7 @@
 //! Input pairs: the candidate source/target rows synthesis runs on.
 
 use serde::{Deserialize, Serialize};
-use tjoin_text::{normalize_for_matching, NormalizeOptions};
+use tjoin_text::{checked_row_count, normalize_for_matching, NormalizeOptions};
 use tjoin_units::CharStr;
 
 /// One candidate joinable row pair, already normalized.
@@ -47,7 +47,14 @@ impl PairSet {
     }
 
     /// Prepares a pair set from already-normalized pairs.
+    ///
+    /// Panics when the pair count exceeds the `u32` row-id space — this is
+    /// the single admission check every downstream `row as u32` cast in the
+    /// coverage scans relies on.
     pub fn from_pairs(pairs: Vec<InputPair>) -> Self {
+        if let Err(e) = checked_row_count(pairs.len()) {
+            panic!("pair set exceeds the u32 row-id space: {e}");
+        }
         let sources = pairs.iter().map(|p| CharStr::new(p.source.clone())).collect();
         let target_char_lens = pairs.iter().map(|p| p.target.chars().count()).collect();
         Self {

@@ -34,8 +34,10 @@ pub mod table;
 pub mod workload;
 
 pub use io::DatasetError;
-pub use repository::{is_decoy, RepositoryConfig};
-pub use workload::{RequestWorkload, RequestWorkloadConfig};
+pub use repository::{is_decoy, joinable_rows, RepositoryConfig};
+pub use workload::{
+    AppendStep, AppendWorkload, AppendWorkloadConfig, RequestWorkload, RequestWorkloadConfig,
+};
 pub use synthetic::{SyntheticConfig, SyntheticDataset};
 pub use table::{row_id, ArenaPair, ColumnPair, Table, TablePair};
 

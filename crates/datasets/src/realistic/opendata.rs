@@ -15,7 +15,7 @@
 //!    cover even from a < 1% sample (Table 2).
 
 use crate::corpus;
-use crate::table::{Table, TablePair};
+use crate::table::{row_id, Table, TablePair};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -96,7 +96,8 @@ pub fn open_data(seed: u64, rows: usize) -> TablePair {
     for _ in 0..rows {
         // Low-cardinality house numbers + a small street list => heavy n-gram
         // collisions across rows (the low-precision regime).
-        let house = 10_000 + 10 * rng.gen_range(0..house_cardinality as u32);
+        let house = 10_000
+            + 10 * rng.gen_range(0..u32::try_from(house_cardinality).expect("cardinality is clamped to 300"));
         let street_idx = rng.gen_range(0..corpus::STREETS.len());
         let street = corpus::STREETS[street_idx];
         let quadrant_idx = rng.gen_range(0..corpus::QUADRANTS.len());
@@ -142,12 +143,12 @@ pub fn open_data(seed: u64, rows: usize) -> TablePair {
     let mut by_key: std::collections::HashMap<(u32, usize, usize), Vec<u32>> =
         std::collections::HashMap::new();
     for (row, key) in keys.iter().enumerate() {
-        by_key.entry(*key).or_default().push(row as u32);
+        by_key.entry(*key).or_default().push(row_id(row));
     }
     let mut golden = Vec::with_capacity(rows * 2);
     for (row, key) in keys.iter().enumerate() {
         for &other in &by_key[key] {
-            golden.push((row as u32, other));
+            golden.push((row_id(row), other));
         }
     }
     golden.sort_unstable();
@@ -165,6 +166,23 @@ pub fn open_data(seed: u64, rows: usize) -> TablePair {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn golden_row_ids_index_real_rows() {
+        // Pins the `row_id`-checked golden construction: the many-to-many
+        // mapping only addresses rows that exist, and includes the diagonal
+        // (every row joins at least itself).
+        let pair = open_data(1, 400);
+        let rows = pair.source.row_count();
+        assert_eq!(rows, pair.target.row_count());
+        assert!(!pair.golden_pairs.is_empty());
+        for &(s, t) in &pair.golden_pairs {
+            assert!((s as usize) < rows && (t as usize) < rows);
+        }
+        for row in 0..rows as u32 {
+            assert!(pair.golden_pairs.binary_search(&(row, row)).is_ok(), "row {row} lost");
+        }
+    }
 
     #[test]
     fn shape_and_determinism() {

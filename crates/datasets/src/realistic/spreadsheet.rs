@@ -10,7 +10,7 @@
 
 use crate::corpus;
 use crate::realistic::formats::*;
-use crate::table::{Table, TablePair};
+use crate::table::{row_id, Table, TablePair};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -104,7 +104,7 @@ fn generate_task(task: Task, index: usize, rng: &mut StdRng) -> TablePair {
         "output",
         target_values,
     );
-    let golden = (0..rows as u32).map(|i| (i, i)).collect();
+    let golden = (0..rows).map(|i| (row_id(i), row_id(i))).collect();
     TablePair {
         name: format!("sheet-{index:03}-{}", task.name()),
         source,
@@ -206,6 +206,19 @@ fn generate_row(task: Task, rng: &mut StdRng) -> (String, String) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn golden_mapping_is_the_checked_identity() {
+        // Pins the `row_id`-checked golden construction: the mapping is the
+        // identity over exactly the generated row range.
+        for pair in spreadsheet(0) {
+            let rows = pair.source.row_count();
+            assert_eq!(pair.golden_pairs.len(), rows, "{}", pair.name);
+            for (i, &(s, t)) in pair.golden_pairs.iter().enumerate() {
+                assert_eq!((s as usize, t as usize), (i, i), "{}", pair.name);
+            }
+        }
+    }
 
     #[test]
     fn one_hundred_eight_pairs() {

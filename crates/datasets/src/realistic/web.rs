@@ -10,7 +10,7 @@
 
 use crate::corpus;
 use crate::realistic::formats::*;
-use crate::table::{Table, TablePair};
+use crate::table::{row_id, Table, TablePair};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -156,7 +156,7 @@ fn generate_pair(topic: Topic, index: usize, rng: &mut StdRng) -> TablePair {
         let tgt_key = if noisy { noisify(&tgt_key, rng) } else { tgt_key };
         source.push_row(vec![src_key, src_attr]);
         target.push_row(vec![tgt_key, tgt_attr]);
-        golden.push((row as u32, row as u32));
+        golden.push((row_id(row), row_id(row)));
     }
 
     TablePair {
@@ -395,6 +395,18 @@ fn generate_row(topic: Topic, rng: &mut StdRng) -> (String, String, String, Stri
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn golden_row_ids_index_real_rows() {
+        // Pins the `row_id`-checked golden construction: every golden id
+        // addresses a row that exists in its table.
+        for pair in web_tables(0) {
+            let (s_rows, t_rows) = (pair.source.row_count(), pair.target.row_count());
+            for &(s, t) in &pair.golden_pairs {
+                assert!((s as usize) < s_rows && (t as usize) < t_rows, "{}", pair.name);
+            }
+        }
+    }
 
     #[test]
     fn thirty_one_pairs_with_expected_shape() {

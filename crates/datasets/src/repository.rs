@@ -185,6 +185,24 @@ pub fn is_decoy(pair: &ColumnPair) -> bool {
     pair.golden.is_empty()
 }
 
+/// Generates `count` fresh joinable rows in the same format family as a
+/// generated pair — the raw material for append workloads: every returned
+/// `(source, target)` row is the same entity in the pair's two surface
+/// formats, coverable by the same transformations as the pair's existing
+/// rows.
+///
+/// The family is recovered from the generated pair's `-<family>` name
+/// suffix; returns `None` for decoys and for hand-built pairs whose name
+/// carries no known family. Deterministic per `(pair name, seed)` — the
+/// rows do not depend on the pair's content, so repeated calls with
+/// distinct seeds extend a pair without replaying its generation stream.
+pub fn joinable_rows(pair: &ColumnPair, count: usize, seed: u64) -> Option<Vec<(String, String)>> {
+    let suffix = pair.name.rsplit('-').next()?;
+    let family = FAMILIES.iter().copied().find(|f| f.name() == suffix)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Some((0..count).map(|_| family_row(family, &mut rng)).collect())
+}
+
 fn random_person(rng: &mut StdRng) -> PersonName {
     let first = corpus::FIRST_NAMES[rng.gen_range(0..corpus::FIRST_NAMES.len())];
     let last = corpus::LAST_NAMES[rng.gen_range(0..corpus::LAST_NAMES.len())];

@@ -20,7 +20,7 @@
 //! `rand` shim — a different stream than upstream `StdRng`, see the shim
 //! docs).
 
-use crate::repository::RepositoryConfig;
+use crate::repository::{is_decoy, joinable_rows, RepositoryConfig};
 use crate::table::ColumnPair;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,6 +96,106 @@ impl RequestWorkloadConfig {
     }
 }
 
+/// Configuration of the append-stream generator.
+///
+/// Where [`RequestWorkloadConfig`] replays whole repositories, this
+/// generator grows **one** repository in place: a base repository plus a
+/// sequence of append steps, each adding fresh joinable rows (same format
+/// family, so the pair's existing transformations keep covering them) to
+/// one of the repository's joinable pairs. The step sequence is hot-skewed
+/// toward the first joinable pair — the shape where incremental
+/// maintenance pays off most, since the hot pair's artifacts are extended
+/// over and over while a rebuild would re-derive them from scratch each
+/// time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendWorkloadConfig {
+    /// Shape of the base repository.
+    pub repository: RepositoryConfig,
+    /// Number of append steps in the sequence.
+    pub appends: usize,
+    /// Rows added per append step.
+    pub rows_per_append: usize,
+}
+
+impl Default for AppendWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            repository: RepositoryConfig::new(4, 40),
+            appends: 8,
+            rows_per_append: 10,
+        }
+    }
+}
+
+/// One append step: fresh joinable rows for one pair of the base
+/// repository.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendStep {
+    /// Index into the base repository of the pair being grown.
+    pub pair: usize,
+    /// The appended `(source, target)` rows, same format family as the
+    /// pair's existing rows.
+    pub rows: Vec<(String, String)>,
+}
+
+/// A generated append stream: the base repository plus the ordered append
+/// steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendWorkload {
+    /// The repository before any append.
+    pub base: Vec<ColumnPair>,
+    /// The append steps, in application order.
+    pub steps: Vec<AppendStep>,
+}
+
+impl AppendWorkloadConfig {
+    /// Convenience constructor for the common (appends, rows) shape with
+    /// the default repository shape.
+    pub fn new(appends: usize, rows_per_append: usize) -> Self {
+        Self {
+            appends,
+            rows_per_append,
+            ..Self::default()
+        }
+    }
+
+    /// Generates the workload deterministically from `seed`.
+    ///
+    /// Appends target only joinable pairs (decoys have no format family to
+    /// extend). The first step always grows the first joinable pair (the
+    /// hot pair); subsequent steps draw it with probability ~1/2 and a
+    /// uniform joinable pair otherwise. Step `i`'s rows are generated
+    /// under a per-step seed, so distinct steps append distinct content.
+    pub fn generate(&self, seed: u64) -> AppendWorkload {
+        assert!(self.rows_per_append >= 1, "rows_per_append must be at least 1");
+        let base = self.repository.generate(seed);
+        let joinable: Vec<usize> = base
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !is_decoy(p))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !joinable.is_empty(),
+            "append workload needs at least one joinable pair"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6a09_e667_f3bc_c908);
+        let steps = (0..self.appends)
+            .map(|i| {
+                let pair = if i == 0 || rng.gen_bool(0.5) {
+                    joinable[0]
+                } else {
+                    joinable[rng.gen_range(0..joinable.len())]
+                };
+                let rows = joinable_rows(&base[pair], self.rows_per_append, seed ^ (i as u64 + 1))
+                    .expect("joinable pairs always carry a family suffix");
+                AppendStep { pair, rows }
+            })
+            .collect();
+        AppendWorkload { base, steps }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +243,55 @@ mod tests {
     #[should_panic(expected = "at least one repository")]
     fn zero_distinct_rejected() {
         let _ = RequestWorkloadConfig::new(0, 4).generate(0);
+    }
+
+    #[test]
+    fn append_workload_deterministic_per_seed() {
+        let config = AppendWorkloadConfig::new(6, 5);
+        assert_eq!(config.generate(3), config.generate(3));
+        assert_ne!(config.generate(3).steps, config.generate(4).steps);
+    }
+
+    #[test]
+    fn append_steps_target_joinable_pairs_and_skew_hot() {
+        let config = AppendWorkloadConfig {
+            repository: RepositoryConfig::new(8, 20),
+            appends: 40,
+            rows_per_append: 3,
+        };
+        let w = config.generate(11);
+        let hot = w
+            .base
+            .iter()
+            .position(|p| !is_decoy(p))
+            .expect("repository has joinable pairs");
+        assert_eq!(w.steps.len(), 40);
+        assert_eq!(w.steps[0].pair, hot, "first step must grow the hot pair");
+        for step in &w.steps {
+            assert!(!is_decoy(&w.base[step.pair]), "append targeted a decoy");
+            assert_eq!(step.rows.len(), 3);
+        }
+        let hot_steps = w.steps.iter().filter(|s| s.pair == hot).count();
+        assert!(hot_steps > 16, "hot pair underrepresented: {hot_steps}/40");
+        assert!(
+            w.steps.iter().any(|s| s.pair != hot),
+            "cold pairs never appended"
+        );
+    }
+
+    #[test]
+    fn appended_rows_share_the_pair_family() {
+        let w = AppendWorkloadConfig::new(4, 6).generate(5);
+        // Distinct steps against the same pair append distinct content.
+        let hot: Vec<&AppendStep> =
+            w.steps.iter().filter(|s| s.pair == w.steps[0].pair).collect();
+        if hot.len() >= 2 {
+            assert_ne!(hot[0].rows, hot[1].rows);
+        }
+        // Rows come from the pair's own family generator.
+        for step in &w.steps {
+            let regen = joinable_rows(&w.base[step.pair], step.rows.len(), 0);
+            assert!(regen.is_some(), "family must be recoverable from the name");
+        }
     }
 }

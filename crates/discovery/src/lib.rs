@@ -55,6 +55,32 @@
 //!   runner applies unchanged to the shortlisted pairs
 //!   (`BatchJoinRunner::discover_and_run` in `tjoin-join`).
 //!
+//! ## Determinism under ties
+//!
+//! MinHash overlap estimates are quantized (lane-agreement fractions), so
+//! score ties across *distinct* pairs are common, and a `top_k` cut
+//! through a tie group must not depend on the order the repository
+//! happened to arrive in. Every rank therefore orders by
+//! `(estimated_overlap desc, shared_anchors desc, content fingerprint
+//! asc, position asc)` — the fingerprint ([`PairCandidate::fingerprint`],
+//! a chain of both columns' content fingerprints) decides within tie
+//! groups by *content*, and the positional key only separates exact
+//! duplicate column pairs.
+//!
+//! ## Shortlist deltas (the append model)
+//!
+//! When a repository grows — rows appended to resident columns via
+//! `GramCorpus::append_column`, new pairs added at the end —
+//! [`shortlist_repository_delta`] re-signs **only** the changed and new
+//! pairs and carries every unchanged pair's recorded evidence forward
+//! from the previous [`RepositoryShortlist`] (budget-cut pairs keep their
+//! scores for exactly this reason). Unchanged pruned pairs stay pruned:
+//! anchor disjointness is a property of the columns, and the columns did
+//! not change. The re-rank and `top_k` cut run through the same serial
+//! pass as the full path, so the delta verdict is bit-identical to
+//! re-shortlisting the final repository from scratch — invalidation can
+//! never change results, only how much signing work was spent.
+//!
 //! ## Oracle discipline
 //!
 //! Three retained oracles lock the layer down differentially:
@@ -79,7 +105,8 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tjoin_datasets::ColumnPair;
 use tjoin_text::{
-    chunk_map, ColumnSignature, CorpusFailure, FxHashMap, GramCorpus, NormalizeOptions,
+    chunk_map, fingerprint64_chain, ColumnSignature, CorpusFailure, FxHashMap, FxHashSet,
+    GramCorpus, NormalizeOptions,
 };
 
 /// Configuration of a discovery pass. `n_min`/`n_max`/`normalize` must
@@ -157,6 +184,12 @@ pub struct PairCandidate {
     /// MinHash-estimated shared distinct grams across the full size range
     /// (the ranking score).
     pub estimated_overlap: f64,
+    /// Content fingerprint of the pair (a chain of both columns'
+    /// [`ColumnSignature::content_fingerprint`]s) — the tie-break that
+    /// keeps `top_k` cuts deterministic under MinHash score ties: two
+    /// repositories holding the same columns cut the same *content*, no
+    /// matter how their pair lists are ordered.
+    pub fingerprint: u64,
 }
 
 /// The result of scoring a source × target signature cross product:
@@ -253,21 +286,39 @@ impl SignatureIndex {
 }
 
 /// Ranks candidates deterministically: estimated overlap descending, then
-/// shared anchors descending, then (source, target) ascending. `f64`
-/// scores are compared by total order; every score is computed by the same
-/// pure expression on both discovery paths, so the rank is bit-identical
-/// between them and across thread counts.
+/// shared anchors descending, then content fingerprint ascending, then
+/// (source, target) ascending. `f64` scores are compared by total order;
+/// every score is computed by the same pure expression on both discovery
+/// paths, so the rank is bit-identical between them and across thread
+/// counts. The fingerprint outranks the positional tie-break so a `top_k`
+/// cut through a group of MinHash ties selects by *content*, invariant
+/// under input reordering; positions only break exact-duplicate columns.
 fn rank(candidates: &mut Vec<PairCandidate>, top_k: Option<usize>) {
     candidates.sort_by(|a, b| {
         b.estimated_overlap
             .total_cmp(&a.estimated_overlap)
             .then(b.shared_anchors.cmp(&a.shared_anchors))
+            .then(a.fingerprint.cmp(&b.fingerprint))
             .then(a.source.cmp(&b.source))
             .then(a.target.cmp(&b.target))
     });
     if let Some(k) = top_k {
         candidates.truncate(k);
     }
+}
+
+/// The pair-level content fingerprint rank ties break on: a seeded,
+/// order-sensitive chain of both columns' content fingerprints. Seeding
+/// matters — a bare `chain(source, target)` XORs the inputs first, so
+/// every identical-column pair (`source == target`) would collapse to the
+/// single value `mix64(0)` and the tie-break would stop discriminating
+/// exactly where ties are densest.
+fn pair_fingerprint(source: &ColumnSignature, target: &ColumnSignature) -> u64 {
+    const PAIR_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+    fingerprint64_chain(
+        fingerprint64_chain(PAIR_SEED, source.content_fingerprint()),
+        target.content_fingerprint(),
+    )
 }
 
 /// Prunes and ranks the `sources` × `targets` pair space through a
@@ -285,11 +336,13 @@ pub fn discover(
         let source_id = u32::try_from(source_id).expect("more than u32::MAX source columns");
         for (target_id, shared) in index.shared_anchor_counts(source) {
             if shared >= config.min_anchor_overlap.max(1) {
+                let target = &targets[target_id as usize];
                 candidates.push(PairCandidate {
                     source: source_id,
                     target: target_id,
                     shared_anchors: shared,
-                    estimated_overlap: source.estimated_overlap(&targets[target_id as usize]),
+                    estimated_overlap: source.estimated_overlap(target),
+                    fingerprint: pair_fingerprint(source, target),
                 });
             }
         }
@@ -317,6 +370,7 @@ pub fn discover_reference(
                     target: u32::try_from(target_id).expect("more than u32::MAX target columns"),
                     shared_anchors: shared,
                     estimated_overlap: source.estimated_overlap(target),
+                    fingerprint: pair_fingerprint(source, target),
                 });
             }
         }
@@ -351,6 +405,11 @@ pub struct ScoredPair {
     pub shared_anchors: usize,
     /// MinHash-estimated shared distinct grams (0 when `signature_failed`).
     pub estimated_overlap: f64,
+    /// Content fingerprint of the pair's two columns (see
+    /// [`PairCandidate::fingerprint`]; 0 when `signature_failed`) — the
+    /// rank tie-break, and the identity a [`shortlist_repository_delta`]
+    /// carry-forward preserves.
+    pub fingerprint: u64,
     /// True when a signature build failed and the pair was retained
     /// conservatively instead of scored.
     pub signature_failed: bool,
@@ -371,16 +430,19 @@ pub struct PrunedPair {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RepositoryShortlist {
     /// Retained pairs in run order: scored survivors ranked by (estimated
-    /// overlap desc, shared anchors desc, index asc), then conservatively
-    /// retained signature-failure pairs in index order.
+    /// overlap desc, shared anchors desc, content fingerprint asc, index
+    /// asc), then conservatively retained signature-failure pairs in index
+    /// order.
     pub ranked: Vec<ScoredPair>,
     /// Pairs with fewer than `min_anchor_overlap` shared anchors — at the
     /// default minimum of 1, *provably* unjoinable under the matcher the
     /// config mirrors. In index order.
     pub pruned: Vec<PrunedPair>,
     /// Scored survivors cut by the `top_k` cap (empty without a cap) — a
-    /// budget decision, not a proof, reported separately. In rank order.
-    pub pruned_by_budget: Vec<PrunedPair>,
+    /// budget decision, not a proof, reported separately. In rank order,
+    /// evidence kept: a later [`shortlist_repository_delta`] re-ranks these
+    /// against fresh scores without re-signing them.
+    pub pruned_by_budget: Vec<ScoredPair>,
     /// Repository size the shortlist was built from.
     pub considered: usize,
 }
@@ -408,6 +470,7 @@ impl RepositoryShortlist {
                     name: pair.name.clone(),
                     shared_anchors: 0,
                     estimated_overlap: 0.0,
+                    fingerprint: 0,
                     signature_failed: false,
                 })
                 .collect(),
@@ -419,10 +482,94 @@ impl RepositoryShortlist {
 }
 
 /// Per-pair signature evidence, before the serial rank/prune pass.
+#[derive(Clone, Copy)]
 struct PairEvidence {
     shared: usize,
     overlap: f64,
+    fingerprint: u64,
     failed: bool,
+}
+
+/// How one repository pair enters the rank/prune pass: freshly (or
+/// carried-forward) scored, or known-pruned from an unchanged previous
+/// verdict (evidence below the anchor minimum; its exact value no longer
+/// matters).
+enum PairDisposition {
+    Scored(PairEvidence),
+    StillPruned,
+}
+
+/// Signs one pair through the corpus and condenses the evidence. A
+/// signature failure on either column comes back `failed` (conservative
+/// retention downstream).
+fn sign_pair(corpus: &GramCorpus, pair: &ColumnPair, config: &DiscoveryConfig) -> PairEvidence {
+    let scored = corpus_signature(corpus, &pair.source, config).and_then(|source| {
+        corpus_signature(corpus, &pair.target, config).map(|target| (source, target))
+    });
+    match scored {
+        Ok((source, target)) => PairEvidence {
+            shared: source.shared_anchors(&target),
+            overlap: source.estimated_overlap(&target),
+            fingerprint: pair_fingerprint(&source, &target),
+            failed: false,
+        },
+        Err(_) => PairEvidence { shared: 0, overlap: 0.0, fingerprint: 0, failed: true },
+    }
+}
+
+/// The serial classify → rank → cut pass shared by the full and delta
+/// shortlist paths — one implementation, so the delta path cannot drift
+/// from the oracle it must stay bit-identical to.
+fn assemble_shortlist(
+    repository: &[ColumnPair],
+    dispositions: Vec<PairDisposition>,
+    config: &DiscoveryConfig,
+) -> RepositoryShortlist {
+    let mut scored: Vec<ScoredPair> = Vec::new();
+    let mut retained_failures: Vec<ScoredPair> = Vec::new();
+    let mut pruned: Vec<PrunedPair> = Vec::new();
+    for (index, (pair, disposition)) in repository.iter().zip(dispositions).enumerate() {
+        let evidence = match disposition {
+            PairDisposition::Scored(evidence) => evidence,
+            PairDisposition::StillPruned => {
+                pruned.push(PrunedPair { index, name: pair.name.clone() });
+                continue;
+            }
+        };
+        let entry = ScoredPair {
+            index,
+            name: pair.name.clone(),
+            shared_anchors: evidence.shared,
+            estimated_overlap: evidence.overlap,
+            fingerprint: evidence.fingerprint,
+            signature_failed: evidence.failed,
+        };
+        if evidence.failed {
+            retained_failures.push(entry);
+        } else if evidence.shared >= config.min_anchor_overlap.max(1) {
+            scored.push(entry);
+        } else {
+            pruned.push(PrunedPair { index, name: pair.name.clone() });
+        }
+    }
+    scored.sort_by(|a, b| {
+        b.estimated_overlap
+            .total_cmp(&a.estimated_overlap)
+            .then(b.shared_anchors.cmp(&a.shared_anchors))
+            .then(a.fingerprint.cmp(&b.fingerprint))
+            .then(a.index.cmp(&b.index))
+    });
+    let mut pruned_by_budget = Vec::new();
+    if let Some(k) = config.top_k {
+        pruned_by_budget = scored.split_off(k.min(scored.len()));
+    }
+    scored.extend(retained_failures);
+    RepositoryShortlist {
+        ranked: scored,
+        pruned,
+        pruned_by_budget,
+        considered: repository.len(),
+    }
 }
 
 /// Shortlists a repository's pair list: signs every column through
@@ -441,60 +588,95 @@ pub fn shortlist_repository(
         &config.normalize,
         "discovery corpus must normalize like the discovery config"
     );
-    let evidence: Vec<PairEvidence> = chunk_map(repository, config.threads.max(1), |pair| {
-        let scored = corpus_signature(corpus, &pair.source, config).and_then(|source| {
-            corpus_signature(corpus, &pair.target, config).map(|target| (source, target))
+    let dispositions: Vec<PairDisposition> =
+        chunk_map(repository, config.threads.max(1), |pair| {
+            PairDisposition::Scored(sign_pair(corpus, pair, config))
         });
-        match scored {
-            Ok((source, target)) => PairEvidence {
-                shared: source.shared_anchors(&target),
-                overlap: source.estimated_overlap(&target),
-                failed: false,
-            },
-            Err(_) => PairEvidence { shared: 0, overlap: 0.0, failed: true },
-        }
-    });
+    assemble_shortlist(repository, dispositions, config)
+}
 
-    let mut scored: Vec<ScoredPair> = Vec::new();
-    let mut retained_failures: Vec<ScoredPair> = Vec::new();
-    let mut pruned: Vec<PrunedPair> = Vec::new();
-    for (index, (pair, evidence)) in repository.iter().zip(&evidence).enumerate() {
-        let entry = ScoredPair {
-            index,
-            name: pair.name.clone(),
-            shared_anchors: evidence.shared,
-            estimated_overlap: evidence.overlap,
-            signature_failed: evidence.failed,
-        };
-        if evidence.failed {
-            retained_failures.push(entry);
-        } else if evidence.shared >= config.min_anchor_overlap.max(1) {
-            scored.push(entry);
-        } else {
-            pruned.push(PrunedPair { index, name: pair.name.clone() });
-        }
+/// What changed since a previous [`RepositoryShortlist`] was taken: the
+/// verdict to carry forward plus the indices (into the *final* repository
+/// slice) of pairs whose columns gained rows. Indices at or beyond
+/// `previous.considered` are new pairs and are re-signed automatically —
+/// they do not need listing.
+#[derive(Debug, Clone, Copy)]
+pub struct ShortlistDelta<'a> {
+    /// The verdict over the repository before the appends.
+    pub previous: &'a RepositoryShortlist,
+    /// Indices of pairs whose source or target column changed.
+    pub changed: &'a [usize],
+}
+
+/// Re-shortlists `repository` after an append, re-signing **only** the
+/// changed and new pairs and carrying every unchanged pair's evidence
+/// forward from `delta.previous`:
+///
+/// * unchanged ranked / budget-cut pairs reuse their recorded
+///   (shared, overlap, fingerprint) — no corpus access at all;
+/// * unchanged *pruned* pairs stay pruned (their columns did not change,
+///   so the proof of anchor disjointness still holds);
+/// * unchanged signature-failure pairs stay conservatively retained (the
+///   failure is sticky in the corpus until evicted — exactly what a full
+///   re-run against the same corpus would see).
+///
+/// Re-ranking, re-pruning, and the `top_k` cut then run through the same
+/// serial pass as [`shortlist_repository`], so the result is
+/// **bit-identical** to a full shortlist of the final repository (same
+/// corpus, same config — the differential suite proves it); only the
+/// signing work is O(changed) instead of O(repository).
+///
+/// # Panics
+///
+/// Panics if `config` disagrees with the corpus's normalize options, or if
+/// an unchanged index is absent from every bucket of `delta.previous`
+/// (an incomplete `changed` list — the carry-forward would be unsound).
+pub fn shortlist_repository_delta(
+    repository: &[ColumnPair],
+    corpus: &GramCorpus,
+    config: &DiscoveryConfig,
+    delta: ShortlistDelta<'_>,
+) -> RepositoryShortlist {
+    assert_eq!(
+        corpus.options(),
+        &config.normalize,
+        "discovery corpus must normalize like the discovery config"
+    );
+    let changed: FxHashSet<usize> = delta.changed.iter().copied().collect();
+    let mut carried: FxHashMap<usize, PairEvidence> = FxHashMap::default();
+    for entry in delta.previous.ranked.iter().chain(&delta.previous.pruned_by_budget) {
+        carried.insert(
+            entry.index,
+            PairEvidence {
+                shared: entry.shared_anchors,
+                overlap: entry.estimated_overlap,
+                fingerprint: entry.fingerprint,
+                failed: entry.signature_failed,
+            },
+        );
     }
-    scored.sort_by(|a, b| {
-        b.estimated_overlap
-            .total_cmp(&a.estimated_overlap)
-            .then(b.shared_anchors.cmp(&a.shared_anchors))
-            .then(a.index.cmp(&b.index))
-    });
-    let mut pruned_by_budget = Vec::new();
-    if let Some(k) = config.top_k {
-        pruned_by_budget = scored
-            .split_off(k.min(scored.len()))
-            .into_iter()
-            .map(|entry| PrunedPair { index: entry.index, name: entry.name })
-            .collect();
-    }
-    scored.extend(retained_failures);
-    RepositoryShortlist {
-        ranked: scored,
-        pruned,
-        pruned_by_budget,
-        considered: repository.len(),
-    }
+    let pruned_before: FxHashSet<usize> =
+        delta.previous.pruned.iter().map(|entry| entry.index).collect();
+
+    let dispositions: Vec<PairDisposition> = repository
+        .iter()
+        .enumerate()
+        .map(|(index, pair)| {
+            if changed.contains(&index) || index >= delta.previous.considered {
+                PairDisposition::Scored(sign_pair(corpus, pair, config))
+            } else if let Some(&evidence) = carried.get(&index) {
+                PairDisposition::Scored(evidence)
+            } else if pruned_before.contains(&index) {
+                PairDisposition::StillPruned
+            } else {
+                panic!(
+                    "shortlist delta: pair {index} is neither changed nor present \
+                     in the previous shortlist — incomplete changed list?"
+                );
+            }
+        })
+        .collect();
+    assemble_shortlist(repository, dispositions, config)
 }
 
 #[cfg(test)]
@@ -667,6 +849,154 @@ mod tests {
             &config,
         );
         assert_eq!(fresh.pruned.len(), 1);
+    }
+
+    #[test]
+    fn tie_heavy_top_k_cut_selects_by_content_not_position() {
+        // Four pairs of identical single-cell columns, all the same
+        // length: every pair scores overlap 1.0 with the same anchor
+        // count — a pure MinHash tie group. A top_k cut through it must
+        // select the same *content* no matter how the repository is
+        // ordered; before the fingerprint tie-break, the positional key
+        // made the cut an accident of input order.
+        let cells = ["abcdefgh-1", "abcdefgh-2", "abcdefgh-3", "abcdefgh-4"];
+        let forward: Vec<ColumnPair> =
+            cells.iter().map(|c| pair(c, &[c], &[c])).collect();
+        let reversed: Vec<ColumnPair> = forward.iter().rev().cloned().collect();
+        let config = DiscoveryConfig { n_max: 8, top_k: Some(2), ..DiscoveryConfig::default() };
+
+        let cut_names = |repo: &[ColumnPair]| -> Vec<String> {
+            let shortlist =
+                shortlist_repository(repo, &GramCorpus::new(NormalizeOptions::default()), &config);
+            assert_eq!(shortlist.ranked.len(), 2);
+            assert_eq!(shortlist.pruned_by_budget.len(), 2);
+            let scores: Vec<(f64, usize)> = shortlist
+                .ranked
+                .iter()
+                .chain(&shortlist.pruned_by_budget)
+                .map(|entry| (entry.estimated_overlap, entry.shared_anchors))
+                .collect();
+            assert!(scores.windows(2).all(|w| w[0] == w[1]), "all four pairs must tie");
+            let fingerprints: Vec<u64> =
+                shortlist.ranked.iter().map(|entry| entry.fingerprint).collect();
+            assert!(fingerprints.windows(2).all(|w| w[0] < w[1]), "ties order by fingerprint");
+            shortlist.ranked.iter().map(|entry| entry.name.clone()).collect()
+        };
+        assert_eq!(
+            cut_names(&forward),
+            cut_names(&reversed),
+            "a tie-group cut must be input-order invariant"
+        );
+    }
+
+    #[test]
+    fn tie_heavy_cross_product_cut_is_order_invariant() {
+        // Same property on the signature-level path: identical source and
+        // target sets in two orders, top_k smaller than the tie group.
+        let cells = ["abcdefgh-1", "abcdefgh-2", "abcdefgh-3"];
+        let forward: Vec<Arc<ColumnSignature>> = cells.iter().map(|c| sig(&[c])).collect();
+        let reversed: Vec<Arc<ColumnSignature>> = forward.iter().rev().cloned().collect();
+        let config = DiscoveryConfig { n_max: 8, top_k: Some(4), ..DiscoveryConfig::default() };
+        let fingerprints = |shortlist: &Shortlist| -> Vec<u64> {
+            shortlist.candidates.iter().map(|c| c.fingerprint).collect()
+        };
+        let fwd = discover(&forward, &forward, &config);
+        let rev = discover(&reversed, &reversed, &config);
+        assert_eq!(
+            fingerprints(&fwd),
+            fingerprints(&rev),
+            "the cut must keep the same pair content in both orders"
+        );
+        assert_eq!(fwd, discover_reference(&forward, &forward, &config));
+    }
+
+    #[test]
+    fn shortlist_delta_is_bit_identical_to_full_rebuild() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let config = DiscoveryConfig { n_max: 8, ..DiscoveryConfig::default() };
+        let before = vec![
+            pair("joinable", &["davood rafiei", "mario nascimento"], &["drafiei"]),
+            pair("disjoint", &["aaaaaaaa"], &["bbbbbbbb"]),
+            pair("growing", &["michael bowling"], &["mbowling"]),
+        ];
+        let previous = shortlist_repository(&before, &corpus, &config);
+        assert_eq!(previous.pruned.len(), 1);
+
+        // Pair 2's source gains a row; a brand-new pair arrives at the end.
+        let mut after = before.clone();
+        after[2].source.push("denilson barbosa".to_string());
+        after.push(pair("new", &["jorg sander"], &["jsander"]));
+
+        let delta = shortlist_repository_delta(
+            &after,
+            &corpus,
+            &config,
+            ShortlistDelta { previous: &previous, changed: &[2] },
+        );
+        let full =
+            shortlist_repository(&after, &GramCorpus::new(NormalizeOptions::default()), &config);
+        assert_eq!(delta, full, "delta shortlist must equal a from-scratch rebuild");
+
+        // The carry-forward really skipped re-signing: only the changed
+        // pair's grown source and the new pair's two columns are signed
+        // beyond the first pass (the target of pair 2 is a cache hit).
+        let counters = corpus.stats();
+        assert_eq!(counters.signatures_built, 6 + 3, "6 cold columns + 3 delta builds");
+    }
+
+    #[test]
+    fn shortlist_delta_with_top_k_recuts_against_carried_scores() {
+        // A budget-cut pair must displace an unchanged ranked pair when an
+        // append raises its score past the leader's — which requires the
+        // cut list to carry its evidence forward and the leader's carried
+        // score to re-enter the same rank pass.
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let config = DiscoveryConfig { n_max: 8, top_k: Some(1), ..DiscoveryConfig::default() };
+        let before = vec![
+            pair("leader", &["abcdefghij"], &["abcdefghij"]),
+            pair("runner-up", &["qrstuvwxyz"], &["qrstuvwx"]),
+        ];
+        let previous = shortlist_repository(&before, &corpus, &config);
+        assert_eq!(previous.ranked[0].name, "leader");
+        assert_eq!(previous.pruned_by_budget.len(), 1);
+        assert_eq!(previous.pruned_by_budget[0].name, "runner-up");
+
+        // Both runner-up columns gain a long shared row: its shared-gram
+        // estimate grows well past the unchanged leader's.
+        let mut after = before.clone();
+        after[1].source.push("0123456789012345".to_string());
+        after[1].target.push("0123456789012345".to_string());
+        let delta = shortlist_repository_delta(
+            &after,
+            &corpus,
+            &config,
+            ShortlistDelta { previous: &previous, changed: &[1] },
+        );
+        let full =
+            shortlist_repository(&after, &GramCorpus::new(NormalizeOptions::default()), &config);
+        assert_eq!(delta, full);
+        assert_eq!(delta.ranked[0].name, "runner-up", "the cut re-ranks on fresh scores");
+        assert_eq!(delta.pruned_by_budget[0].name, "leader", "the old leader is cut");
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete changed list")]
+    fn shortlist_delta_rejects_unaccounted_pairs() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let config = DiscoveryConfig { n_max: 8, ..DiscoveryConfig::default() };
+        let repo = vec![pair("a", &["davood rafiei"], &["drafiei"])];
+        let previous = shortlist_repository(&repo, &corpus, &config);
+        // Lie about the previous verdict's coverage: a two-pair repository
+        // against a one-pair history with an empty changed list.
+        let bigger = vec![repo[0].clone(), pair("b", &["mario"], &["mario"])];
+        let mut previous = previous;
+        previous.considered = 2;
+        let _ = shortlist_repository_delta(
+            &bigger,
+            &corpus,
+            &config,
+            ShortlistDelta { previous: &previous, changed: &[] },
+        );
     }
 
     #[test]

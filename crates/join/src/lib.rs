@@ -89,6 +89,7 @@
 
 pub mod batch;
 pub mod evaluate;
+pub mod incremental;
 pub mod pipeline;
 pub mod reference;
 
@@ -96,8 +97,10 @@ pub use batch::{
     BatchFaultStats, BatchJoinOutcome, BatchJoinRunner, BatchSchedulerStats,
     DiscoveredBatchOutcome, PairJoinReport, RepositoryMetrics, SchedulerFailure,
 };
+pub use incremental::{AppendReport, IncrementalCoverage, IncrementalJoin, IncrementalJoinConfig};
 pub use tjoin_discovery::{
-    DiscoveryConfig, PairCandidate, PrunedPair, RepositoryShortlist, ScoredPair,
+    shortlist_repository_delta, DiscoveryConfig, PairCandidate, PrunedPair, RepositoryShortlist,
+    ScoredPair, ShortlistDelta,
 };
 pub use evaluate::{evaluate_join, JoinMetrics};
 pub use pipeline::{

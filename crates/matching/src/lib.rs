@@ -52,7 +52,7 @@ pub mod metrics;
 pub mod ngram;
 pub mod reference;
 
-pub use golden::golden_pairs;
+pub use golden::{golden_pairs, golden_value_pairs};
 pub use metrics::{evaluate_pairs, MatchingMetrics};
 pub use ngram::{MatchAbort, NGramMatcher, NGramMatcherConfig, RowMatch};
 pub use reference::find_candidates_reference;

@@ -10,10 +10,12 @@
 //!
 //! * **Columns are interned by content.** [`GramCorpus::column`] keys each
 //!   column by a 64-bit chained fingerprint of its cells
-//!   ([`fingerprint64_chain`] over per-cell [`fingerprint64`]s) and
-//!   normalizes it exactly once, no matter how many pairs reference it. A
-//!   debug-build shadow map holds the raw cells and asserts the column
-//!   fingerprints never collide on the interned corpus.
+//!   ([`crate::fingerprint::fingerprint64_chain`] over per-cell
+//!   [`crate::fingerprint::fingerprint64`]s, finished with the cell count —
+//!   see [`ColumnFingerprint`]) and normalizes it exactly once, no matter
+//!   how many pairs reference it. A debug-build shadow map holds the raw
+//!   cells and asserts the column fingerprints never collide on the
+//!   interned corpus.
 //! * **Gram artifacts are cached per size range.** A [`CorpusColumn`] lazily
 //!   builds — and then shares via `Arc` — its [`ColumnStats`] and
 //!   [`NGramIndex`] per `(n_min, n_max)`, so a column probed by k pairs
@@ -63,7 +65,7 @@
 
 use crate::arena::{ArenaError, CellText, ColumnArena};
 use crate::fault::{self, FaultSite};
-use crate::fingerprint::{fingerprint64, fingerprint64_chain};
+use crate::fingerprint::ColumnFingerprint;
 use crate::fxhash::FxHashMap;
 use crate::index::NGramIndex;
 use crate::normalize::NormalizeOptions;
@@ -84,11 +86,26 @@ pub fn column_fingerprint(cells: &[String]) -> u64 {
 /// [`column_fingerprint`] over any [`CellText`] column. The fingerprint is
 /// a pure function of the cell *contents*, so a `Vec<String>` column and a
 /// [`ColumnArena`] holding the same cells intern to the same corpus entry.
+///
+/// Internally this finishes an appendable [`ColumnFingerprint`]: the cell
+/// count is folded in at the *end* of the chain (not in the seed), so the
+/// running chain state over a prefix is exactly the state an append
+/// continues from — [`GramCorpus::append_column`] re-keys a grown column
+/// without re-hashing its old cells, bit-identically to fingerprinting the
+/// final column from scratch.
 pub fn column_fingerprint_on<C: CellText + ?Sized>(column: &C) -> u64 {
-    column.cells().fold(
-        0x9E37_79B9_7F4A_7C15 ^ column.cell_count() as u64,
-        |acc, cell| fingerprint64_chain(acc, fingerprint64(cell)),
-    )
+    running_column_fingerprint(column).finish()
+}
+
+/// The appendable fingerprint state over a whole column — the chain
+/// [`column_fingerprint_on`] finishes, kept unfinished so appends can
+/// continue it.
+fn running_column_fingerprint<C: CellText + ?Sized>(column: &C) -> ColumnFingerprint {
+    let mut fingerprint = ColumnFingerprint::empty();
+    for cell in column.cells() {
+        fingerprint.absorb(cell);
+    }
+    fingerprint
 }
 
 /// A contained, sticky corpus build failure: the artifact whose lazy build
@@ -259,6 +276,13 @@ pub struct CorpusStats {
     pub signatures_failed: usize,
     /// Total `ColumnSignature` build attempts behind the resident entries.
     pub signature_attempts: usize,
+    /// Successful [`GramCorpus::append_column`] calls (lifetime counter,
+    /// like `column_hits` — not dropped by eviction).
+    pub appends: usize,
+    /// Appends whose artifact carry-forward panicked and degraded to
+    /// rebuild-on-next-access (lifetime counter; the appended entry itself
+    /// still exists, with empty artifact caches).
+    pub appends_degraded: usize,
 }
 
 impl CorpusStats {
@@ -286,6 +310,11 @@ type ArtifactCache<A> = FxHashMap<(usize, usize), Built<A>>;
 #[derive(Debug)]
 pub struct CorpusColumn {
     normalized: ColumnArena,
+    /// The *unfinished* chain over the raw (pre-normalization) cells — the
+    /// state [`GramCorpus::append_column`] continues from, so a grown
+    /// column re-keys without re-hashing its old cells. `finish()` of this
+    /// state is exactly the fingerprint the entry is interned under.
+    raw_fingerprint: ColumnFingerprint,
     generation: u64,
     retry: CorpusRetryPolicy,
     stats: Mutex<ArtifactCache<ColumnStats>>,
@@ -302,9 +331,11 @@ impl CorpusColumn {
         options: &NormalizeOptions,
         retry: CorpusRetryPolicy,
         generation: u64,
+        raw_fingerprint: ColumnFingerprint,
     ) -> Result<Self, ArenaError> {
         Ok(Self {
             normalized: ColumnArena::try_normalized(raw, options)?,
+            raw_fingerprint,
             generation,
             retry,
             stats: Mutex::new(FxHashMap::default()),
@@ -468,6 +499,11 @@ pub struct GramCorpus {
     retry: CorpusRetryPolicy,
     columns: Mutex<FxHashMap<u64, Arc<ColumnCell>>>,
     column_hits: AtomicUsize,
+    /// Lifetime count of successful [`Self::append_column`] calls.
+    appends: AtomicUsize,
+    /// Lifetime count of appends whose artifact carry-forward panicked and
+    /// degraded to rebuild-on-next-access.
+    appends_degraded: AtomicUsize,
     /// Build-generation counter: every column build attempt draws a fresh,
     /// strictly increasing tag (see [`CorpusColumn::generation`]).
     generations: AtomicU64,
@@ -495,6 +531,8 @@ impl GramCorpus {
             retry,
             columns: Mutex::new(FxHashMap::default()),
             column_hits: AtomicUsize::new(0),
+            appends: AtomicUsize::new(0),
+            appends_degraded: AtomicUsize::new(0),
             generations: AtomicU64::new(0),
             #[cfg(debug_assertions)]
             shadow: Mutex::new(FxHashMap::default()),
@@ -533,7 +571,8 @@ impl GramCorpus {
         if fault::should_poison(FaultSite::CorpusColumnBuild) {
             fault::poison_mutex(&self.columns);
         }
-        let key = column_fingerprint_on(raw);
+        let running = running_column_fingerprint(raw);
+        let key = running.finish();
         let cell = {
             let mut columns = fault::lock_recover(&self.columns);
             if let Some(cell) = columns.get(&key) {
@@ -570,7 +609,7 @@ impl GramCorpus {
                 // attempt's tag is the one the entry keeps. Uniqueness and
                 // monotonicity — not density — are the contract.
                 let generation = self.generations.fetch_add(1, Ordering::Relaxed);
-                CorpusColumn::build(raw, &self.options, self.retry, generation)
+                CorpusColumn::build(raw, &self.options, self.retry, generation, running)
                     .map(Arc::new)
                     .map_err(|e| CorpusFailure::from_arena("column", e))
             });
@@ -677,6 +716,183 @@ impl GramCorpus {
         Some(freed)
     }
 
+    /// Appends `delta`'s raw cells to the resident column interned under
+    /// `fingerprint`, interning the grown column as a **new entry** keyed
+    /// by the final column's content fingerprint (returned on success).
+    /// The old entry is left resident — the serving layer decides whether
+    /// to evict it (and transfers its cache metadata).
+    ///
+    /// Every cached artifact of the old entry is carried forward through
+    /// the incremental append paths ([`ColumnStats::append_rows_on`],
+    /// [`NGramIndex::try_append_on`], [`ColumnSignature::append_rows`]),
+    /// each of which is **bit-identical** to a fresh build over the final
+    /// column — so a grown entry serves exactly what re-interning the final
+    /// column from scratch would. The new entry draws a fresh, strictly
+    /// greater [`CorpusColumn::generation`], making "this is post-append
+    /// state" observable, and the re-keying continues the old entry's
+    /// unfinished fingerprint chain — O(delta) hashing, not O(column).
+    ///
+    /// # Failure containment
+    ///
+    /// * Appending to an absent, in-flight, or sticky-failed entry returns
+    ///   a typed [`CorpusFailure`] (`artifact: "append"`) and changes
+    ///   nothing.
+    /// * A capacity overflow while normalizing or concatenating the delta
+    ///   returns the same typed error a fresh build of the final column
+    ///   would record, and changes nothing.
+    /// * A *panic* during the artifact carry-forward (the
+    ///   [`FaultSite::CorpusAppend`] injection point) degrades the new
+    ///   entry to **rebuild-on-next-access**: it is interned with the
+    ///   correct grown arena but *empty* artifact caches, so the next
+    ///   stats/index/signature request rebuilds from the final column —
+    ///   never silently stale artifacts. Degraded appends are counted in
+    ///   [`CorpusStats::appends_degraded`].
+    pub fn append_column<C: CellText + ?Sized>(
+        &self,
+        fingerprint: u64,
+        delta: &C,
+    ) -> Result<u64, CorpusFailure> {
+        let old = {
+            let columns = fault::lock_recover(&self.columns);
+            let cell = columns.get(&fingerprint).ok_or_else(|| CorpusFailure {
+                artifact: "append",
+                message: format!("no resident entry for fingerprint {fingerprint:#x}"),
+            })?;
+            let built = cell.get().ok_or_else(|| CorpusFailure {
+                artifact: "append",
+                message: format!("entry {fingerprint:#x} is still building"),
+            })?;
+            built.result.clone().map_err(|failure| CorpusFailure {
+                artifact: "append",
+                message: format!("cannot append to a failed entry: {failure}"),
+            })?
+        };
+        let old_len = old.normalized.len();
+        let mut running = old.raw_fingerprint;
+        for cell in delta.cells() {
+            running.absorb(cell);
+        }
+        let new_fingerprint = running.finish();
+        if delta.cell_count() == 0 {
+            // Empty delta: the grown column IS the old column.
+            self.appends.fetch_add(1, Ordering::Relaxed);
+            return Ok(fingerprint);
+        }
+        let delta_arena = ColumnArena::try_normalized(delta, &self.options)
+            .map_err(|e| CorpusFailure::from_arena("append", e))?;
+        let mut normalized = old.normalized.clone();
+        normalized
+            .try_append_arena(&delta_arena)
+            .map_err(|e| CorpusFailure::from_arena("append", e))?;
+        // Carry every cached artifact forward incrementally. A panic here
+        // (injected or real) must not leave a half-updated cache: the whole
+        // carry-forward runs under catch_unwind and a failure degrades to
+        // empty caches — the next access rebuilds from the (correct) grown
+        // arena, so staleness is impossible by construction.
+        type Carried = (
+            ArtifactCache<ColumnStats>,
+            ArtifactCache<NGramIndex>,
+            ArtifactCache<ColumnSignature>,
+        );
+        let carried: Result<Carried, _> = catch_unwind(AssertUnwindSafe(|| {
+            fault::fire(FaultSite::CorpusAppend);
+            let mut stats_cache: ArtifactCache<ColumnStats> = FxHashMap::default();
+            for (&(n_min, n_max), built) in fault::lock_recover(&old.stats).iter() {
+                // Sticky failures are not carried: they stay absent so the
+                // next access re-attempts against the final column (a
+                // deterministic failure simply recurs there).
+                if let Ok(stats) = &built.result {
+                    let mut grown = ColumnStats::clone(stats);
+                    grown.append_rows_on(&normalized, old_len, n_min, n_max);
+                    stats_cache.insert(
+                        (n_min, n_max),
+                        Built { result: Ok(Arc::new(grown)), attempts: 1 },
+                    );
+                }
+            }
+            let mut index_cache: ArtifactCache<NGramIndex> = FxHashMap::default();
+            for (&range, built) in fault::lock_recover(&old.indexes).iter() {
+                if let Ok(index) = &built.result {
+                    let mut grown = NGramIndex::clone(index);
+                    let result = match grown.try_append_on(&normalized, old_len) {
+                        Ok(()) => Ok(Arc::new(grown)),
+                        // The same typed error a fresh build of the final
+                        // column would record — sticky, like that build.
+                        Err(e) => Err(CorpusFailure::from_arena("index", e)),
+                    };
+                    index_cache.insert(range, Built { result, attempts: 1 });
+                }
+            }
+            let mut signature_cache: ArtifactCache<ColumnSignature> = FxHashMap::default();
+            for (&(n_min, n_max), built) in fault::lock_recover(&old.signatures).iter() {
+                if let Ok(signature) = &built.result {
+                    // The signature fold needs the final column's stats for
+                    // this range; the signature build path always populates
+                    // the stats cache, so this is normally a lookup.
+                    let stats = match stats_cache
+                        .get(&(n_min, n_max))
+                        .and_then(|b| b.result.as_ref().ok())
+                    {
+                        Some(stats) => Arc::clone(stats),
+                        None => Arc::new(ColumnStats::build_on(&normalized, n_min, n_max)),
+                    };
+                    let mut grown = ColumnSignature::clone(signature);
+                    grown.append_rows(&normalized, &stats, old_len, n_max);
+                    signature_cache.insert(
+                        (n_min, n_max),
+                        Built { result: Ok(Arc::new(grown)), attempts: 1 },
+                    );
+                }
+            }
+            (stats_cache, index_cache, signature_cache)
+        }));
+        let (stats_cache, index_cache, signature_cache) = match carried {
+            Ok(caches) => caches,
+            Err(_) => {
+                // Degrade to rebuild-on-next-access: never stale.
+                self.appends_degraded.fetch_add(1, Ordering::Relaxed);
+                (FxHashMap::default(), FxHashMap::default(), FxHashMap::default())
+            }
+        };
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        let column = CorpusColumn {
+            normalized,
+            raw_fingerprint: running,
+            generation,
+            retry: self.retry,
+            stats: Mutex::new(stats_cache),
+            indexes: Mutex::new(index_cache),
+            signatures: Mutex::new(signature_cache),
+            stats_hits: AtomicUsize::new(0),
+            index_hits: AtomicUsize::new(0),
+            signature_hits: AtomicUsize::new(0),
+        };
+        let cell = {
+            let mut columns = fault::lock_recover(&self.columns);
+            match columns.get(&new_fingerprint) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    let cell = Arc::new(ColumnCell::new());
+                    columns.insert(new_fingerprint, Arc::clone(&cell));
+                    #[cfg(debug_assertions)]
+                    {
+                        let mut shadow = fault::lock_recover(&self.shadow);
+                        let mut cells = shadow.get(&fingerprint).cloned().unwrap_or_default();
+                        cells.extend(delta.cells().map(str::to_owned));
+                        shadow.insert(new_fingerprint, cells);
+                    }
+                    cell
+                }
+            }
+        };
+        // If a racer (or an earlier intern of the same final content)
+        // already built this fingerprint, keep the existing entry — the
+        // contents are identical by construction.
+        cell.get_or_init(|| Built { result: Ok(Arc::new(column)), attempts: 1 });
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        Ok(new_fingerprint)
+    }
+
     /// A snapshot of the intern/build/hit counters (see [`CorpusStats`]).
     /// Columns whose build is still in flight on another thread are not
     /// counted yet.
@@ -685,6 +901,8 @@ impl GramCorpus {
         let mut stats = CorpusStats {
             columns_interned: 0,
             column_hits: self.column_hits.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            appends_degraded: self.appends_degraded.load(Ordering::Relaxed),
             ..CorpusStats::default()
         };
         for entry in columns.values().filter_map(|cell| cell.get()) {
@@ -964,6 +1182,100 @@ mod tests {
         assert_eq!(first.normalized(), second.normalized());
         // The stats snapshot covers resident entries only.
         assert_eq!(corpus.stats().columns_interned, 2);
+    }
+
+    #[test]
+    fn append_column_matches_fresh_intern_bit_identically() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let base = col(&["Rafiei, Davood", "Bowling, Michael"]);
+        let delta = col(&["  Nascimento,   MARIO ", "Gosgnach, Simon"]);
+        let mut final_cells = base.clone();
+        final_cells.extend(delta.iter().cloned());
+
+        let old_fp = column_fingerprint(&base);
+        let old = corpus.column(&base);
+        let _ = old.stats(4, 8);
+        let _ = old.index(4, 8);
+        let _ = old.signature(4, 8);
+        let old_generation = old.generation();
+
+        let new_fp = corpus.append_column(old_fp, &delta).expect("append succeeds");
+        assert_eq!(new_fp, column_fingerprint(&final_cells), "re-keying matches a fresh pass");
+        assert!(corpus.contains(old_fp), "eviction of the old entry is the serving layer's call");
+        let grown = corpus.column(&final_cells);
+        assert!(grown.generation() > old_generation);
+
+        // A fresh corpus over the final column is the oracle: every carried
+        // artifact must be bit-identical.
+        let fresh_corpus = GramCorpus::new(NormalizeOptions::default());
+        let fresh = fresh_corpus.column(&final_cells);
+        assert_eq!(grown.normalized(), fresh.normalized());
+        assert_eq!(*grown.stats(4, 8), *fresh.stats(4, 8));
+        assert_eq!(*grown.index(4, 8), *fresh.index(4, 8));
+        assert_eq!(*grown.signature(4, 8), *fresh.signature(4, 8));
+
+        let stats = corpus.stats();
+        assert_eq!(stats.appends, 1);
+        assert_eq!(stats.appends_degraded, 0);
+        // The carried artifacts were NOT rebuilt: requesting them hits.
+        let hits_before = corpus.stats().stats_hits;
+        let _ = grown.stats(4, 8);
+        assert_eq!(corpus.stats().stats_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn append_column_empty_delta_is_identity() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let base = col(&["alpha", "beta"]);
+        let fp = column_fingerprint(&base);
+        let _ = corpus.column(&base);
+        let same = corpus.append_column(fp, &Vec::<String>::new()).unwrap();
+        assert_eq!(same, fp);
+        assert_eq!(corpus.stats().appends, 1);
+        assert_eq!(corpus.column_count(), 1);
+    }
+
+    #[test]
+    fn append_to_absent_or_failed_entry_is_a_typed_error() {
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let failure = corpus.append_column(0xDEAD, &col(&["x"])).unwrap_err();
+        assert_eq!(failure.artifact, "append");
+        assert!(failure.message.contains("no resident entry"));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_append_panic_degrades_to_rebuild_never_stale() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let corpus = GramCorpus::new(NormalizeOptions::default());
+        let base = col(&["Rafiei, Davood", "Bowling, Michael"]);
+        let delta = col(&["Nascimento, Mario"]);
+        let mut final_cells = base.clone();
+        final_cells.extend(delta.iter().cloned());
+        let old_fp = column_fingerprint(&base);
+        let old = corpus.column(&base);
+        let _ = old.stats(4, 8);
+        let _ = old.index(4, 8);
+
+        let plan = FaultPlan::new().inject(0, FaultSite::CorpusAppend, FaultKind::Panic);
+        let new_fp = fault::with_pair_scope(&plan, 0, || corpus.append_column(old_fp, &delta))
+            .expect("a degraded append still interns the grown column");
+        assert_eq!(new_fp, column_fingerprint(&final_cells));
+        let stats = corpus.stats();
+        assert_eq!(stats.appends, 1);
+        assert_eq!(stats.appends_degraded, 1);
+
+        // Degraded means empty caches (sticky rebuild-on-next-access), so
+        // the next request REBUILDS — and what it builds is the fresh
+        // oracle over the final column, never a stale carry.
+        let grown = corpus.column(&final_cells);
+        let built_before = corpus.stats().stats_built;
+        let grown_stats = grown.stats(4, 8);
+        assert_eq!(corpus.stats().stats_built, built_before + 1, "cache was empty: a real build");
+        let fresh_corpus = GramCorpus::new(NormalizeOptions::default());
+        let fresh = fresh_corpus.column(&final_cells);
+        assert_eq!(*grown_stats, *fresh.stats(4, 8));
+        assert_eq!(*grown.index(4, 8), *fresh.index(4, 8));
     }
 
     #[test]

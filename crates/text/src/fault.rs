@@ -55,6 +55,10 @@ pub enum FaultSite {
     /// Inside a corpus `ColumnSignature` build (also the poison point of the
     /// per-column signature cache lock).
     CorpusSignatureBuild,
+    /// Inside `GramCorpus::append_column`'s artifact carry-forward: a panic
+    /// here degrades the appended entry to rebuild-on-next-access (empty
+    /// artifact caches) — never silently stale artifacts.
+    CorpusAppend,
     /// Entry of the synthesis phase (pipeline phase 2).
     SynthesisPhase,
     /// Entry of the synthesis coverage scan.

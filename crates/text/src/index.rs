@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 /// An inverted index from character n-grams (sizes `n_min..=n_max`) to the
 /// ids of the rows containing them.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NGramIndex {
     n_min: usize,
     n_max: usize,
@@ -94,6 +94,56 @@ impl NGramIndex {
             rows: rows_u32 as usize,
             postings,
         })
+    }
+
+    /// Extends the index with the rows `from_row..` of `column` — the
+    /// **incremental append** path. `self` must have been built (with the
+    /// same size range) over exactly `column`'s first `from_row` cells;
+    /// `column` is the *final* column. Every new row id is strictly greater
+    /// than every indexed id, so per-list sortedness and uniqueness are
+    /// preserved by plain pushes — no re-sort — and the result is
+    /// **bit-identical** to a fresh [`Self::try_build_on`] over the final
+    /// column (the differential proptest suite enforces this). A capacity
+    /// overflow is rejected up front with the same typed error a fresh
+    /// build on the final column would return, leaving `self` unchanged.
+    pub fn try_append_on<C: CellText + ?Sized>(
+        &mut self,
+        column: &C,
+        from_row: usize,
+    ) -> Result<(), ArenaError> {
+        assert_eq!(
+            self.rows, from_row,
+            "try_append_on: index covers {} rows but the delta starts at row {from_row}",
+            self.rows
+        );
+        let rows_u32 = checked_row_count(column.cell_count())?;
+        // Invariant is local (audited): `from_row == self.rows`, and
+        // `self.rows` was itself produced by a `checked_row_count` in the
+        // constructor (or a previous append), so the cast is lossless.
+        let from_u32 = checked_row_count(from_row)?;
+        #[cfg(debug_assertions)]
+        let mut shadow: FxHashMap<u64, String> = FxHashMap::default();
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for row_id in from_u32..rows_u32 {
+            let row = column.cell(row_id as usize);
+            seen.clear();
+            for_each_ngram_in_sizes(row, self.n_min, self.n_max, &mut |g| {
+                let key = fingerprint64(g);
+                #[cfg(debug_assertions)]
+                {
+                    let prev = shadow.entry(key).or_insert_with(|| g.to_owned());
+                    debug_assert_eq!(
+                        prev, g,
+                        "gram fingerprint collision: {prev:?} vs {g:?} both hash to {key:#x}"
+                    );
+                }
+                if seen.insert(key) {
+                    self.postings.entry(key).or_default().push(row_id);
+                }
+            });
+        }
+        self.rows = rows_u32 as usize;
+        Ok(())
     }
 
     /// The n-gram size range `(n_min, n_max)` the index covers.
@@ -249,6 +299,24 @@ mod tests {
         for g in ["raf", "ualber", "mario", "@ua"] {
             assert_eq!(from_slice.rows_containing(g), from_arena.rows_containing(g), "gram {g:?}");
         }
+    }
+
+    #[test]
+    fn appended_index_matches_fresh_build() {
+        let final_rows = ["drafiei@ualberta.ca", "mario@ualberta.ca", "abab", "", "drafiei"];
+        for split in 0..=final_rows.len() {
+            let mut grown = NGramIndex::build(&final_rows[..split], 2, 5);
+            grown.try_append_on(final_rows.as_slice(), split).unwrap();
+            let fresh = NGramIndex::build(&final_rows, 2, 5);
+            assert_eq!(grown, fresh, "split at {split}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta starts at row")]
+    fn appended_index_rejects_row_mismatch() {
+        let mut idx = NGramIndex::build(&["ab"], 2, 2);
+        idx.try_append_on(["ab", "cd", "ef"].as_slice(), 2).unwrap();
     }
 
     #[test]

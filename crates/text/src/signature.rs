@@ -34,7 +34,7 @@
 //! corpus serves warm discovery without recomputing anything.
 
 use crate::arena::CellText;
-use crate::fingerprint::{fingerprint64, mix64};
+use crate::fingerprint::{fingerprint64, mix64, ColumnFingerprint};
 use crate::fxhash::FxHashSet;
 use crate::ngram::for_each_ngram_in_sizes;
 use crate::scoring::ColumnStats;
@@ -109,6 +109,10 @@ pub struct ColumnSignature {
     /// Distinct grams across the full `[n_min, n_max]` range (copied from
     /// the stats; the cardinality term of the overlap estimate).
     distinct_grams: usize,
+    /// Appendable content fingerprint of the signed (normalized) cells —
+    /// [`Self::content_fingerprint`] finishes it into the deterministic
+    /// tie-break key discovery budget cuts order by.
+    content: ColumnFingerprint,
 }
 
 impl ColumnSignature {
@@ -127,8 +131,11 @@ impl ColumnSignature {
         }
         let mut guard = CollisionGuard::new();
         let mut anchor_set: FxHashSet<u64> = FxHashSet::default();
+        let mut content = ColumnFingerprint::empty();
         for cell in 0..column.cell_count() {
-            for_each_ngram_in_sizes(column.cell(cell), n_min, n_min, &mut |g| {
+            let text = column.cell(cell);
+            content.absorb(text);
+            for_each_ngram_in_sizes(text, n_min, n_min, &mut |g| {
                 let key = fingerprint64(g);
                 guard.check(key, g);
                 anchor_set.insert(key);
@@ -142,12 +149,82 @@ impl ColumnSignature {
             anchor_size: n_min,
             row_count: stats.row_count,
             distinct_grams: stats.distinct_ngrams(),
+            content,
         }
+    }
+
+    /// Folds the rows `from_row..` of `column` into the signature — the
+    /// **incremental append** path. `stats` must be the (already appended)
+    /// statistics of the *final* column over the same `[anchor_size, n_max]`
+    /// range this signature was built with, and `self` must cover exactly
+    /// `column`'s first `from_row` cells. The MinHash lane fold is a
+    /// per-lane minimum — idempotent and order-independent — so re-folding
+    /// grams the old rows already contributed changes nothing, and the
+    /// anchor merge is a sorted-set union: the appended signature is
+    /// **bit-identical** to a fresh [`Self::build`] over the final column
+    /// (the differential proptest suite enforces this).
+    pub fn append_rows<C: CellText + ?Sized>(
+        &mut self,
+        column: &C,
+        stats: &ColumnStats,
+        from_row: usize,
+        n_max: usize,
+    ) {
+        assert_eq!(
+            self.row_count, from_row,
+            "append_rows: signature covers {} rows but the delta starts at row {from_row}",
+            self.row_count
+        );
+        assert_eq!(
+            stats.row_count,
+            column.cell_count(),
+            "append_rows: stats must already cover the final column"
+        );
+        let mut guard = CollisionGuard::new();
+        let mut new_anchors: FxHashSet<u64> = FxHashSet::default();
+        for cell in from_row..column.cell_count() {
+            let text = column.cell(cell);
+            self.content.absorb(text);
+            // Lane fold over the full size range: min-merging a gram the
+            // old rows already folded is a no-op, so repeats cost nothing
+            // but correctness-wise are free.
+            for_each_ngram_in_sizes(text, self.anchor_size, n_max, &mut |g| {
+                let key = fingerprint64(g);
+                guard.check(key, g);
+                let h = mix64(key);
+                let lane = (h >> (64 - LANE_BITS)) as usize;
+                if h < self.lanes[lane] {
+                    self.lanes[lane] = h;
+                }
+            });
+            // Anchor pass at exactly `anchor_size` (gram sizes are in
+            // characters, so the size filter must come from the extraction
+            // range, not the gram's byte length).
+            for_each_ngram_in_sizes(text, self.anchor_size, self.anchor_size, &mut |g| {
+                let key = fingerprint64(g);
+                if self.anchors.binary_search(&key).is_err() {
+                    new_anchors.insert(key);
+                }
+            });
+        }
+        if !new_anchors.is_empty() {
+            self.anchors.extend(new_anchors);
+            self.anchors.sort_unstable();
+        }
+        self.row_count = stats.row_count;
+        self.distinct_grams = stats.distinct_ngrams();
     }
 
     /// The sorted anchor fingerprint set (size-`n_min` grams).
     pub fn anchors(&self) -> &[u64] {
         &self.anchors
+    }
+
+    /// The finished content fingerprint of the signed (normalized) cells —
+    /// a pure function of the column content, used by discovery as the
+    /// deterministic tie-break under MinHash estimate ties.
+    pub fn content_fingerprint(&self) -> u64 {
+        self.content.finish()
     }
 
     /// The anchor gram size this signature was built with.
@@ -317,6 +394,30 @@ mod tests {
         let large = sig(&["abcdefghijklmnopqrstuvwxyz"], 4, 8);
         assert!(large.approximate_bytes() > small.approximate_bytes());
         assert!(small.approximate_bytes() >= std::mem::size_of::<ColumnSignature>());
+    }
+
+    #[test]
+    fn appended_signature_matches_fresh_build() {
+        let final_rows = ["davood rafiei", "mario nascimento", "αβγδε ζη", "", "rafiei d"];
+        for split in 0..=final_rows.len() {
+            let mut stats = ColumnStats::build(&final_rows[..split], 4, 8);
+            let mut grown = ColumnSignature::build(&final_rows[..split], &stats, 4);
+            stats.append_rows_on(final_rows.as_slice(), split, 4, 8);
+            grown.append_rows(final_rows.as_slice(), &stats, split, 8);
+            let fresh = sig(&final_rows, 4, 8);
+            assert_eq!(grown, fresh, "split at {split}");
+            assert_eq!(grown.content_fingerprint(), fresh.content_fingerprint());
+        }
+    }
+
+    #[test]
+    fn content_fingerprint_distinguishes_content_under_structural_ties() {
+        // Same shape and length, different content: anchors/overlap may
+        // tie, the content fingerprint must not.
+        let a = sig(&["abcdefgh-1"], 4, 8);
+        let b = sig(&["abcdefgh-2"], 4, 8);
+        assert_ne!(a.content_fingerprint(), b.content_fingerprint());
+        assert_eq!(a.content_fingerprint(), sig(&["abcdefgh-1"], 4, 8).content_fingerprint());
     }
 
     #[cfg(debug_assertions)]

@@ -35,7 +35,14 @@ impl CharStr {
     /// Builds a `CharStr` from any string-like value.
     pub fn new(text: impl Into<String>) -> Self {
         let text = text.into();
-        debug_assert!(text.len() <= u32::MAX as usize, "CharStr input too large");
+        // Hard check, not a debug_assert: the offset casts below rely on
+        // it, and a release-mode truncation would silently corrupt every
+        // character lookup on the string.
+        assert!(
+            text.len() <= u32::MAX as usize,
+            "CharStr input exceeds the u32 offset space ({} bytes)",
+            text.len()
+        );
         let mut offsets = Vec::with_capacity(text.len() + 1);
         for (byte, _) in text.char_indices() {
             offsets.push(byte as u32);

@@ -122,6 +122,9 @@ impl UnitPool {
         self.units
             .iter()
             .enumerate()
+            // Invariant is local (audited): `i` indexes `self.units`, whose
+            // length is capped at the u32 id space by `intern`'s checked
+            // conversion — the cast cannot truncate.
             .map(|(i, u)| (UnitId(i as u32), u))
     }
 
@@ -145,6 +148,8 @@ impl UnitPool {
             .iter()
             .enumerate()
             .filter(|&(_, &r)| r)
+            // Invariant is local (audited): same `intern`-checked bound as
+            // `iter` above — `i` stays inside the u32 id space.
             .map(|(i, _)| UnitId(i as u32))
             .collect()
     }
